@@ -1,0 +1,53 @@
+// Figure 3 — fraction of each phase's modeled time spent in communication
+// on the largest g500 surrogate.
+//
+// Paper shape to reproduce: computation dominates both phases for the
+// large graph, but the communication fraction grows steadily with the
+// number of ranks.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tricount;
+
+  util::ArgParser args("bench_figure3_comm_fraction", "Reproduces Figure 3.");
+  bench::add_common_options(args, /*default_scale=*/15,
+                            "16,25,36,49,64,81,100,121,144,169");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const bench::Dataset dataset =
+      bench::overhead_dataset(static_cast<int>(args.get_int("scale")));
+  bench::banner("Figure 3: communication fraction of phase time, " +
+                    dataset.name,
+                "percentage of modeled phase time attributed to the "
+                "alpha-beta communication term.");
+
+  const graph::Csr csr = graph::Csr::from_edges(graph::rmat(dataset.params));
+  const int reps = static_cast<int>(args.get_int("reps"));
+  core::RunOptions options;
+  options.model = bench::model_from_args(args);
+
+  util::Table table({"ranks", "ppt comm %", "tct comm %"});
+  double first_tct = -1.0;
+  double last_tct = 0.0;
+  for (const int p : bench::ranks_from_args(args)) {
+    if (mpisim::perfect_square_root(p) == 0) continue;
+    const core::RunResult r = bench::median_run(csr, p, options, reps);
+    const double ppt_pct =
+        100.0 * r.pre_modeled_comm_seconds() / r.pre_modeled_seconds();
+    const double tct_pct =
+        100.0 * r.tc_modeled_comm_seconds() / r.tc_modeled_seconds();
+    if (first_tct < 0) first_tct = tct_pct;
+    last_tct = tct_pct;
+    table.row()
+        .cell(static_cast<std::int64_t>(p))
+        .cell(ppt_pct, 2)
+        .cell(tct_pct, 2);
+  }
+  table.print();
+  bench::maybe_write_csv(table, args.get("csv"));
+  std::printf("\nshape check: tct comm fraction grows from %.2f%% to %.2f%% "
+              "across the sweep (%s)\n",
+              first_tct, last_tct,
+              last_tct > first_tct ? "matches paper" : "differs from paper");
+  return 0;
+}

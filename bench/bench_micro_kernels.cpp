@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) of the kernels underlying the
+// experiment results: hash build/lookup in both modes, map vs list
+// intersection, blob serialization, and RMAT edge generation.
+#include <benchmark/benchmark.h>
+
+#include "tricount/core/block_matrix.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/hashmap/hash_set.hpp"
+#include "tricount/util/rng.hpp"
+
+namespace {
+
+using tricount::graph::VertexId;
+using tricount::hashmap::VertexHashSet;
+
+std::vector<VertexId> random_keys(std::size_t n, std::uint64_t seed,
+                                  std::uint64_t range) {
+  tricount::util::Xoshiro256 rng(seed);
+  std::vector<VertexId> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<VertexId>(rng.bounded(range)));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+void BM_HashBuildDirect(benchmark::State& state) {
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)), 1,
+                                1u << 24);
+  VertexHashSet set;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.build(keys, /*allow_direct=*/true));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_HashBuildDirect)->Range(16, 4096);
+
+void BM_HashBuildProbing(benchmark::State& state) {
+  const auto keys = random_keys(static_cast<std::size_t>(state.range(0)), 1,
+                                1u << 24);
+  VertexHashSet set;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.build(keys, /*allow_direct=*/false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_HashBuildProbing)->Range(16, 4096);
+
+void BM_MapIntersection(benchmark::State& state) {
+  const auto hashed = random_keys(static_cast<std::size_t>(state.range(0)), 1,
+                                  1u << 20);
+  const auto lookups = random_keys(static_cast<std::size_t>(state.range(0)), 2,
+                                   1u << 20);
+  VertexHashSet set;
+  set.build(hashed, true);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    for (const VertexId k : lookups) {
+      if (set.contains(k)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(lookups.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_MapIntersection)->Range(64, 8192);
+
+void BM_ListIntersection(benchmark::State& state) {
+  const auto a = random_keys(static_cast<std::size_t>(state.range(0)), 1,
+                             1u << 20);
+  const auto b = random_keys(static_cast<std::size_t>(state.range(0)), 2,
+                             1u << 20);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) {
+        ++hits;
+        ++i;
+        ++j;
+      } else if (a[i] < b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(a.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ListIntersection)->Range(64, 8192);
+
+void BM_BlockBlobRoundTrip(benchmark::State& state) {
+  std::vector<tricount::core::LocalEntry> entries;
+  tricount::util::Xoshiro256 rng(3);
+  const auto rows = static_cast<VertexId>(state.range(0));
+  for (int i = 0; i < state.range(0) * 8; ++i) {
+    entries.push_back({static_cast<VertexId>(rng.bounded(rows)),
+                       static_cast<VertexId>(rng.bounded(1u << 20))});
+  }
+  const auto block = tricount::core::BlockCsr::from_entries(rows, entries);
+  for (auto _ : state) {
+    const auto blob = block.to_blob();
+    benchmark::DoNotOptimize(tricount::core::BlockCsr::from_blob(blob));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(block.to_blob().size()) * state.iterations());
+}
+BENCHMARK(BM_BlockBlobRoundTrip)->Range(256, 16384);
+
+void BM_RmatEdgeGeneration(benchmark::State& state) {
+  tricount::graph::RmatParams params;
+  params.scale = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tricount::graph::rmat_edge_slice(
+        params, 0, static_cast<tricount::graph::EdgeIndex>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_RmatEdgeGeneration)->Range(1024, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

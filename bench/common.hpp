@@ -1,0 +1,177 @@
+// Shared infrastructure for the experiment-reproduction benches: the
+// scaled dataset roster standing in for the paper's Table 1 datasets, the
+// rank schedule of the paper's experiments, and small report helpers.
+//
+// Dataset mapping (DESIGN.md §1): the paper's graphs are billions of
+// edges on a 29-node cluster; these surrogates keep the same generator
+// families and degree-distribution character at a scale a single
+// simulated host covers in seconds. Every bench accepts --scale and
+// --ranks to push the sweep larger.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tricount/core/driver.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/util/argparse.hpp"
+#include "tricount/util/table.hpp"
+
+namespace tricount::bench {
+
+struct Dataset {
+  std::string name;
+  graph::RmatParams params;
+};
+
+/// The four main datasets of Table 2, scaled: two Graph500 surrogates and
+/// the two social-network surrogates. `scale` sets the g500 sizes; the
+/// social graphs track it one step smaller (as in the paper, where the
+/// social graphs are the smaller inputs).
+inline std::vector<Dataset> paper_datasets(int scale) {
+  std::vector<Dataset> datasets;
+  {
+    graph::RmatParams p;
+    p.scale = scale - 1;
+    p.seed = 260;
+    datasets.push_back({"g500-s" + std::to_string(p.scale), p});
+  }
+  {
+    graph::RmatParams p;
+    p.scale = scale;
+    p.seed = 290;
+    datasets.push_back({"g500-s" + std::to_string(p.scale), p});
+  }
+  datasets.push_back({"twitter-like", graph::twitter_like_params(scale - 2)});
+  datasets.push_back(
+      {"friendster-like", graph::friendster_like_params(scale - 1)});
+  return datasets;
+}
+
+/// The single large dataset used by the overhead analyses (the paper uses
+/// g500-s29 there).
+inline Dataset overhead_dataset(int scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.seed = 290;
+  return {"g500-s" + std::to_string(p.scale) + " (s29 surrogate)", p};
+}
+
+/// The paper's rank schedule: every perfect square from 16 to 169.
+inline std::vector<int> paper_rank_schedule() {
+  return {16, 25, 36, 49, 64, 81, 100, 121, 144, 169};
+}
+
+inline std::vector<int> ranks_from_args(const util::ArgParser& args) {
+  std::vector<int> ranks;
+  for (const std::int64_t r : args.get_int_list("ranks")) {
+    ranks.push_back(static_cast<int>(r));
+  }
+  return ranks;
+}
+
+/// Registers the options every bench shares.
+inline void add_common_options(util::ArgParser& args, int default_scale,
+                               const std::string& default_ranks) {
+  args.add_option("scale", std::to_string(default_scale),
+                  "base graph scale (n = 2^scale for the largest g500 surrogate)");
+  args.add_option("ranks", default_ranks, "comma-separated rank counts");
+  args.add_option("model", "",
+                  "alpha-beta network model override as 'alpha,beta'");
+  args.add_option("reps", "3",
+                  "repetitions per configuration; the median run (by "
+                  "overall modeled time) is reported, damping scheduler "
+                  "noise in the per-rank CPU samples");
+  args.add_option("csv", "",
+                  "also write the table data as CSV to this path (multi-"
+                  "dataset benches insert the dataset name before the "
+                  "extension)");
+}
+
+/// Writes `table` to the --csv path if one was given. `tag` (e.g. the
+/// dataset name) is inserted before the extension when non-empty.
+inline void maybe_write_csv(const util::Table& table, const std::string& base,
+                            const std::string& tag = "") {
+  if (base.empty()) return;
+  std::string path = base;
+  if (!tag.empty()) {
+    std::string safe = tag;
+    for (char& c : safe) {
+      if (c == '/' || c == ' ') c = '_';
+    }
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos) {
+      path += "." + safe;
+    } else {
+      path.insert(dot, "." + safe);
+    }
+  }
+  table.write_csv(path);
+  std::printf("[csv] wrote %s\n", path.c_str());
+}
+
+/// Runs the pipeline `reps` times and merges them by taking, for every
+/// (rank, superstep) sample, the *median* CPU time across repetitions.
+///
+/// Rationale: the modeled superstep time is a max over ranks, and on an
+/// oversubscribed host any single rank's CPU reading can be inflated by
+/// scheduler interference (cold caches after preemption). The per-sample
+/// median is a robust estimator of each rank's true work; traffic and
+/// operation counters are deterministic, so they are taken from the first
+/// run unchanged.
+inline core::RunResult median_run(const graph::Csr& csr, int ranks,
+                                  const core::RunOptions& options, int reps) {
+  std::vector<core::RunResult> runs;
+  runs.reserve(static_cast<std::size_t>(std::max(1, reps)));
+  for (int i = 0; i < std::max(1, reps); ++i) {
+    runs.push_back(core::count_triangles_2d(csr, ranks, options));
+  }
+  core::RunResult merged = runs.front();
+  auto median_of = [&](auto getter) {
+    std::vector<double> values;
+    values.reserve(runs.size());
+    for (const core::RunResult& r : runs) values.push_back(getter(r));
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+  };
+  for (std::size_t rank = 0; rank < merged.per_rank.size(); ++rank) {
+    auto& stats = merged.per_rank[rank];
+    for (std::size_t s = 0; s < stats.pre_steps.size(); ++s) {
+      stats.pre_steps[s].second.compute_cpu_seconds =
+          median_of([&](const core::RunResult& r) {
+            return r.per_rank[rank].pre_steps[s].second.compute_cpu_seconds;
+          });
+      stats.pre_steps[s].second.comm_cpu_seconds =
+          median_of([&](const core::RunResult& r) {
+            return r.per_rank[rank].pre_steps[s].second.comm_cpu_seconds;
+          });
+    }
+    for (std::size_t s = 0; s < stats.shifts.size(); ++s) {
+      stats.shifts[s].compute_cpu_seconds =
+          median_of([&](const core::RunResult& r) {
+            return r.per_rank[rank].shifts[s].compute_cpu_seconds;
+          });
+      stats.shifts[s].comm_cpu_seconds =
+          median_of([&](const core::RunResult& r) {
+            return r.per_rank[rank].shifts[s].comm_cpu_seconds;
+          });
+    }
+  }
+  return merged;
+}
+
+inline util::AlphaBetaModel model_from_args(const util::ArgParser& args) {
+  const std::string spec = args.get("model");
+  return spec.empty() ? util::AlphaBetaModel{}
+                      : util::AlphaBetaModel::from_string(spec.c_str());
+}
+
+/// Prints the bench banner with the paper reference for the experiment.
+inline void banner(const std::string& experiment, const std::string& note) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("%s\n", note.c_str());
+}
+
+}  // namespace tricount::bench

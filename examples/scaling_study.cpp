@@ -1,0 +1,71 @@
+// Strong-scaling study: a miniature Table 2 for any input — sweeps the
+// simulated grid size on one graph and prints preprocessing / counting /
+// overall modeled times with speedups and efficiency relative to the
+// smallest grid.
+//
+//   ./scaling_study [--scale N] [--ranks 1,4,9,16,25] [--dataset g500|twitter|friendster]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tricount/core/driver.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/util/argparse.hpp"
+#include "tricount/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tricount;
+
+  util::ArgParser args("scaling_study",
+                       "Strong scaling of the 2D algorithm on one graph.");
+  args.add_option("scale", "12", "graph scale (n = 2^scale)");
+  args.add_option("ranks", "1,4,9,16,25,36", "comma-separated rank counts");
+  args.add_option("dataset", "g500",
+                  "generator preset: g500, twitter, friendster");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const int scale = static_cast<int>(args.get_int("scale"));
+  const std::string dataset = args.get("dataset");
+  graph::RmatParams params;
+  if (dataset == "twitter") {
+    params = graph::twitter_like_params(scale);
+  } else if (dataset == "friendster") {
+    params = graph::friendster_like_params(scale);
+  } else {
+    params.scale = scale;
+  }
+  const graph::EdgeList g = graph::rmat(params);
+  std::printf("dataset=%s scale=%d: %u vertices, %zu edges\n",
+              dataset.c_str(), scale, g.num_vertices, g.edges.size());
+
+  util::Table table({"ranks", "ppt (s)", "tct (s)", "overall (s)", "speedup",
+                     "efficiency"});
+  double baseline_time = 0.0;
+  std::int64_t baseline_ranks = 0;
+  for (const std::int64_t ranks : args.get_int_list("ranks")) {
+    if (mpisim::perfect_square_root(static_cast<int>(ranks)) == 0) {
+      std::fprintf(stderr, "skipping ranks=%lld (not a perfect square)\n",
+                   static_cast<long long>(ranks));
+      continue;
+    }
+    const auto result = core::count_triangles_2d(g, static_cast<int>(ranks));
+    const double total = result.total_modeled_seconds();
+    if (baseline_ranks == 0) {
+      baseline_ranks = ranks;
+      baseline_time = total;
+    }
+    const double speedup = baseline_time / total;
+    const double efficiency = speedup * static_cast<double>(baseline_ranks) /
+                              static_cast<double>(ranks);
+    table.row()
+        .cell(ranks)
+        .cell(result.pre_modeled_seconds(), 4)
+        .cell(result.tc_modeled_seconds(), 4)
+        .cell(total, 4)
+        .cell(speedup, 2)
+        .cell(efficiency, 2);
+  }
+  util::print_heading("Strong scaling (modeled parallel time)");
+  table.print();
+  return 0;
+}

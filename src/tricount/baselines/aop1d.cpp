@@ -1,0 +1,105 @@
+#include "tricount/baselines/aop1d.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tricount/mpisim/collectives.hpp"
+#include "tricount/mpisim/runtime.hpp"
+
+namespace tricount::baselines {
+
+std::uint64_t ghost_entries_from_bytes(std::uint64_t bytes) {
+  return bytes / sizeof(VertexId);
+}
+
+BaselineResult count_triangles_aop1d(const graph::EdgeList& graph, int ranks,
+                                     const AopOptions& options) {
+  (void)options;
+  PhaseRecorder recorder(ranks, {"preprocess", "overlap", "count"});
+  TriangleCount triangles = 0;
+
+  mpisim::run_world(ranks, [&](mpisim::Comm& comm) {
+    const int p = comm.size();
+    core::PhaseTracker tracker(comm);
+
+    const core::LocalSlice input =
+        core::block_slice_from_edges(graph, comm.rank(), p);
+    const Dag1D dag = build_dag_1d(comm, input);
+    recorder.record(comm.rank(), 0, tracker.cut());
+
+    // --- overlap phase: fetch Adj+ of every referenced non-local vertex.
+    std::vector<std::vector<VertexId>> wanted(static_cast<std::size_t>(p));
+    for (VertexId k = 0; k < dag.owned(); ++k) {
+      for (const VertexId u : dag.adj_plus[k]) {
+        if (!dag.owns(u)) {
+          wanted[static_cast<std::size_t>(
+                     core::block_owner(u, dag.num_vertices, p))]
+              .push_back(u);
+        }
+      }
+    }
+    for (auto& w : wanted) {
+      std::sort(w.begin(), w.end());
+      w.erase(std::unique(w.begin(), w.end()), w.end());
+    }
+    const auto requests = mpisim::alltoallv(comm, wanted);
+    std::vector<std::vector<VertexId>> replies(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      auto& reply = replies[static_cast<std::size_t>(r)];
+      for (const VertexId u : requests[static_cast<std::size_t>(r)]) {
+        const auto& list = dag.plus(u);
+        reply.push_back(u);
+        reply.push_back(static_cast<VertexId>(list.size()));
+        reply.insert(reply.end(), list.begin(), list.end());
+      }
+    }
+    const auto ghost_data = mpisim::alltoallv(comm, replies);
+    std::unordered_map<VertexId, std::vector<VertexId>> ghosts;
+    for (const auto& bucket : ghost_data) {
+      std::size_t at = 0;
+      while (at < bucket.size()) {
+        const VertexId u = bucket[at++];
+        const VertexId len = bucket[at++];
+        ghosts.emplace(
+            u, std::vector<VertexId>(
+                   bucket.begin() + static_cast<std::ptrdiff_t>(at),
+                   bucket.begin() + static_cast<std::ptrdiff_t>(at + len)));
+        at += len;
+      }
+    }
+    recorder.record(comm.rank(), 1, tracker.cut());
+
+    // --- counting phase: purely local merge intersections.
+    auto plus_of = [&](VertexId u) -> const std::vector<VertexId>& {
+      if (dag.owns(u)) return dag.plus(u);
+      return ghosts.at(u);
+    };
+    TriangleCount local = 0;
+    for (VertexId k = 0; k < dag.owned(); ++k) {
+      const auto& aw = dag.adj_plus[k];
+      for (const VertexId u : aw) {
+        const auto& au = plus_of(u);
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < aw.size() && j < au.size()) {
+          if (aw[i] == au[j]) {
+            ++local;
+            ++i;
+            ++j;
+          } else if (aw[i] < au[j]) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+      }
+    }
+    const TriangleCount total = mpisim::allreduce_sum(comm, local);
+    recorder.record(comm.rank(), 2, tracker.cut());
+    if (comm.rank() == 0) triangles = total;
+  });
+
+  return recorder.finish(triangles);
+}
+
+}  // namespace tricount::baselines

@@ -1,0 +1,29 @@
+// AOP-style baseline: the communication-avoiding 1D algorithm with
+// overlapping partitions of Arifuzzaman et al. (paper §4).
+//
+// Each rank owns a 1D block of the degree-ordered DAG and additionally
+// fetches ("overlaps") the Adj+ list of every non-local vertex referenced
+// by its own lists. Counting is then entirely local — zero communication
+// in the counting phase — at the cost of the ghost-list memory overhead
+// the paper criticizes.
+#pragma once
+
+#include "tricount/baselines/common1d.hpp"
+
+namespace tricount::baselines {
+
+struct AopOptions {
+  util::AlphaBetaModel model;
+};
+
+/// Phases recorded: "preprocess" (DAG build), "overlap" (ghost exchange),
+/// "count" (local counting).
+BaselineResult count_triangles_aop1d(const graph::EdgeList& graph, int ranks,
+                                     const AopOptions& options = {});
+
+/// Aggregate ghost-list entries fetched across ranks in the last run’s
+/// overlap phase — exposed via the result’s overlap-phase byte counters;
+/// this helper converts bytes to entries for reporting.
+std::uint64_t ghost_entries_from_bytes(std::uint64_t bytes);
+
+}  // namespace tricount::baselines

@@ -1,0 +1,97 @@
+#include "tricount/baselines/common1d.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tricount/core/preprocess.hpp"
+#include "tricount/mpisim/collectives.hpp"
+
+namespace tricount::baselines {
+
+Dag1D build_dag_1d(mpisim::Comm& comm, const core::LocalSlice& input) {
+  const int p = comm.size();
+  const VertexId n = input.num_vertices;
+
+  const core::CyclicSlice cyclic = core::cyclic_redistribute(comm, input);
+  const core::RelabeledSlice relabeled = core::degree_relabel(comm, cyclic);
+
+  // Route (new id, Adj+ in new ids) to the block owner of the new id.
+  std::vector<std::vector<VertexId>> outgoing(static_cast<std::size_t>(p));
+  for (std::size_t k = 0; k < relabeled.adj.size(); ++k) {
+    const VertexId w = relabeled.new_ids[k];
+    std::vector<VertexId> plus;
+    for (const VertexId u : relabeled.adj[k]) {
+      if (u > w) plus.push_back(u);
+    }
+    auto& bucket =
+        outgoing[static_cast<std::size_t>(core::block_owner(w, n, p))];
+    bucket.push_back(w);
+    bucket.push_back(static_cast<VertexId>(plus.size()));
+    bucket.insert(bucket.end(), plus.begin(), plus.end());
+  }
+  const auto incoming = mpisim::alltoallv(comm, outgoing);
+
+  Dag1D dag;
+  dag.num_vertices = n;
+  std::tie(dag.begin, dag.end) = core::block_range(n, comm.rank(), p);
+  dag.adj_plus.assign(dag.owned(), {});
+  for (const auto& bucket : incoming) {
+    std::size_t at = 0;
+    while (at < bucket.size()) {
+      const VertexId w = bucket[at++];
+      const VertexId len = bucket[at++];
+      if (!dag.owns(w)) {
+        throw std::runtime_error("build_dag_1d: misrouted vertex");
+      }
+      auto& list = dag.adj_plus[w - dag.begin];
+      list.assign(bucket.begin() + static_cast<std::ptrdiff_t>(at),
+                  bucket.begin() + static_cast<std::ptrdiff_t>(at + len));
+      std::sort(list.begin(), list.end());
+      at += len;
+    }
+  }
+  return dag;
+}
+
+double BaselineResult::phase_modeled_seconds(
+    std::size_t phase, const util::AlphaBetaModel& model) const {
+  return core::breakdown(phase_samples.at(phase)).modeled_seconds(model);
+}
+
+double BaselineResult::total_modeled_seconds(
+    const util::AlphaBetaModel& model) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < phase_samples.size(); ++i) {
+    total += phase_modeled_seconds(i, model);
+  }
+  return total;
+}
+
+std::uint64_t BaselineResult::total_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& per_rank : phase_samples) {
+    for (const PhaseSample& s : per_rank) bytes += s.bytes;
+  }
+  return bytes;
+}
+
+PhaseRecorder::PhaseRecorder(int ranks, std::vector<std::string> names)
+    : ranks_(ranks), names_(std::move(names)) {
+  samples_.assign(names_.size(),
+                  std::vector<PhaseSample>(static_cast<std::size_t>(ranks)));
+}
+
+void PhaseRecorder::record(int rank, std::size_t phase, PhaseSample sample) {
+  samples_.at(phase).at(static_cast<std::size_t>(rank)) = sample;
+}
+
+BaselineResult PhaseRecorder::finish(TriangleCount triangles) const {
+  BaselineResult result;
+  result.triangles = triangles;
+  result.ranks = ranks_;
+  result.phase_names = names_;
+  result.phase_samples = samples_;
+  return result;
+}
+
+}  // namespace tricount::baselines

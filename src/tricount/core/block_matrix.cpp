@@ -1,0 +1,108 @@
+#include "tricount/core/block_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tricount::core {
+
+VertexId cyclic_row_count(VertexId n, int q, int residue) {
+  const auto r = static_cast<VertexId>(residue);
+  if (n <= r) return 0;
+  return (n - 1 - r) / static_cast<VertexId>(q) + 1;
+}
+
+BlockCsr BlockCsr::from_entries(VertexId num_local_rows,
+                                std::vector<LocalEntry> entries) {
+  BlockCsr block;
+  block.num_local_rows_ = num_local_rows;
+  block.xadj_.assign(static_cast<std::size_t>(num_local_rows) + 1, 0);
+  for (const LocalEntry& e : entries) {
+    if (e.row >= num_local_rows) {
+      throw std::out_of_range("BlockCsr: entry row out of range");
+    }
+    ++block.xadj_[e.row + 1];
+  }
+  for (std::size_t i = 1; i < block.xadj_.size(); ++i) {
+    block.xadj_[i] += block.xadj_[i - 1];
+  }
+  block.adj_.resize(entries.size());
+  std::vector<std::uint64_t> cursor(block.xadj_.begin(), block.xadj_.end() - 1);
+  for (const LocalEntry& e : entries) {
+    block.adj_[cursor[e.row]++] = e.col;
+  }
+  // Sort each row; §5.2 notes the sort cost is amortized over the many
+  // intersections that rely on sorted order for the backward early exit.
+  std::uint64_t write = 0;
+  std::vector<std::uint64_t> new_xadj(block.xadj_.size(), 0);
+  for (VertexId r = 0; r < num_local_rows; ++r) {
+    const auto begin = block.adj_.begin() + static_cast<std::ptrdiff_t>(block.xadj_[r]);
+    const auto end = block.adj_.begin() + static_cast<std::ptrdiff_t>(block.xadj_[r + 1]);
+    std::sort(begin, end);
+    const auto unique_end = std::unique(begin, end);
+    // Compact dedup result in place.
+    for (auto it = begin; it != unique_end; ++it) {
+      block.adj_[write++] = *it;
+    }
+    new_xadj[r + 1] = write;
+  }
+  block.adj_.resize(write);
+  block.xadj_ = std::move(new_xadj);
+  for (VertexId r = 0; r < num_local_rows; ++r) {
+    if (block.row_degree(r) > 0) block.nonempty_.push_back(r);
+  }
+  return block;
+}
+
+VertexId BlockCsr::max_row_degree() const {
+  VertexId best = 0;
+  for (const VertexId r : nonempty_) best = std::max(best, row_degree(r));
+  return best;
+}
+
+std::vector<std::byte> BlockCsr::to_blob() const {
+  util::BlobWriter writer;
+  writer.add_scalar<std::uint64_t>(num_local_rows_);
+  writer.add_section(xadj_);
+  writer.add_section(adj_);
+  writer.add_section(nonempty_);
+  return writer.take();
+}
+
+BlockCsr BlockCsr::from_blob(std::span<const std::byte> blob) {
+  util::BlobReader reader(blob);
+  BlockCsr block;
+  block.num_local_rows_ =
+      static_cast<VertexId>(reader.next_scalar<std::uint64_t>());
+  const auto xadj = reader.next_section<std::uint64_t>();
+  const auto adj = reader.next_section<VertexId>();
+  const auto nonempty = reader.next_section<VertexId>();
+  block.xadj_.assign(xadj.begin(), xadj.end());
+  block.adj_.assign(adj.begin(), adj.end());
+  block.nonempty_.assign(nonempty.begin(), nonempty.end());
+  return block;
+}
+
+void BlockCsr::validate() const {
+  if (xadj_.size() != static_cast<std::size_t>(num_local_rows_) + 1 ||
+      xadj_.front() != 0 || xadj_.back() != adj_.size()) {
+    throw std::runtime_error("BlockCsr: xadj shape invalid");
+  }
+  std::vector<VertexId> expected_nonempty;
+  for (VertexId r = 0; r < num_local_rows_; ++r) {
+    if (xadj_[r] > xadj_[r + 1]) {
+      throw std::runtime_error("BlockCsr: xadj not monotone");
+    }
+    const auto cols = row(r);
+    for (std::size_t i = 1; i < cols.size(); ++i) {
+      if (cols[i - 1] >= cols[i]) {
+        throw std::runtime_error("BlockCsr: row not strictly sorted");
+      }
+    }
+    if (!cols.empty()) expected_nonempty.push_back(r);
+  }
+  if (expected_nonempty != nonempty_) {
+    throw std::runtime_error("BlockCsr: nonempty row list inconsistent");
+  }
+}
+
+}  // namespace tricount::core

@@ -1,0 +1,88 @@
+#include "tricount/core/components.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tricount/core/dist_graph.hpp"
+#include "tricount/mpisim/collectives.hpp"
+#include "tricount/mpisim/runtime.hpp"
+
+namespace tricount::core {
+
+using graph::VertexId;
+
+DistComponents connected_components_dist(const graph::EdgeList& graph,
+                                         int ranks) {
+  DistComponents result;
+  result.ranks = ranks;
+  result.label.assign(graph.num_vertices, graph::kInvalidVertex);
+  if (graph.num_vertices == 0) {
+    mpisim::run_world(ranks, [](mpisim::Comm&) {});
+    return result;
+  }
+
+  std::vector<int> rounds_by_rank(static_cast<std::size_t>(ranks), 0);
+
+  mpisim::run_world(ranks, [&](mpisim::Comm& comm) {
+    const int p = comm.size();
+    const LocalSlice slice =
+        block_slice_from_edges(graph, comm.rank(), p);
+    const VertexId n = slice.num_vertices;
+
+    std::vector<VertexId> label(slice.owned());
+    std::vector<bool> changed(slice.owned(), true);
+    for (VertexId k = 0; k < slice.owned(); ++k) {
+      label[k] = slice.begin + k;
+    }
+
+    int rounds = 0;
+    while (true) {
+      // Push the labels of changed vertices to their neighbours' owners.
+      std::vector<std::vector<VertexId>> outgoing(static_cast<std::size_t>(p));
+      for (VertexId k = 0; k < slice.owned(); ++k) {
+        if (!changed[k]) continue;
+        changed[k] = false;
+        for (const VertexId u : slice.adj[k]) {
+          auto& bucket =
+              outgoing[static_cast<std::size_t>(block_owner(u, n, p))];
+          bucket.push_back(u);
+          bucket.push_back(label[k]);
+        }
+      }
+      const auto incoming = mpisim::alltoallv(comm, outgoing);
+      std::uint64_t updates = 0;
+      for (const auto& bucket : incoming) {
+        for (std::size_t at = 0; at + 1 < bucket.size(); at += 2) {
+          const VertexId u = bucket[at];
+          const VertexId candidate = bucket[at + 1];
+          const VertexId local = u - slice.begin;
+          if (candidate < label[local]) {
+            label[local] = candidate;
+            changed[local] = true;
+            ++updates;
+          }
+        }
+      }
+      ++rounds;
+      if (mpisim::allreduce_sum(comm, updates) == 0) break;
+    }
+
+    rounds_by_rank[static_cast<std::size_t>(comm.rank())] = rounds;
+    // Disjoint slots; the thread join publishes the writes.
+    for (VertexId k = 0; k < slice.owned(); ++k) {
+      result.label[slice.begin + k] = label[k];
+    }
+  });
+
+  result.rounds = *std::max_element(rounds_by_rank.begin(),
+                                    rounds_by_rank.end());
+  std::map<VertexId, VertexId> sizes;
+  for (const VertexId l : result.label) ++sizes[l];
+  result.num_components = static_cast<VertexId>(sizes.size());
+  for (const auto& [l, size] : sizes) {
+    result.largest_component = std::max(result.largest_component, size);
+  }
+  return result;
+}
+
+}  // namespace tricount::core

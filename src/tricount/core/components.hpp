@@ -1,0 +1,31 @@
+// Distributed connected components by label propagation — a substrate
+// analytic used to characterize datasets (size of the giant component)
+// and a second consumer of the mpisim runtime beyond triangle counting.
+//
+// 1D block decomposition; every round, each vertex whose label shrank
+// pushes the new label to its neighbours' owners (all-to-all), and the
+// minimum wins. Converges in O(component diameter) rounds.
+#pragma once
+
+#include <vector>
+
+#include "tricount/graph/edge_list.hpp"
+#include "tricount/graph/types.hpp"
+
+namespace tricount::core {
+
+struct DistComponents {
+  /// label[v] = smallest vertex id in v's component.
+  std::vector<graph::VertexId> label;
+  graph::VertexId num_components = 0;
+  graph::VertexId largest_component = 0;
+  int rounds = 0;  ///< propagation rounds until convergence
+  int ranks = 0;
+};
+
+/// Runs distributed label propagation on a simulated world of `ranks`
+/// ranks (any positive count; the decomposition is 1D).
+DistComponents connected_components_dist(const graph::EdgeList& graph,
+                                         int ranks);
+
+}  // namespace tricount::core

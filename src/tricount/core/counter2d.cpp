@@ -1,0 +1,182 @@
+#include "tricount/core/counter2d.hpp"
+
+#include <algorithm>
+
+#include "tricount/mpisim/collectives.hpp"
+
+namespace tricount::core {
+
+namespace {
+
+// User-space tags for the shift traffic (well below kReservedTagBase).
+constexpr int kTagUBlock = 101;
+constexpr int kTagLBlock = 102;
+constexpr int kTagUArrays = 103;  // non-blob mode sends arrays separately
+constexpr int kTagLArrays = 104;
+
+/// Sorted-merge intersection counting matches between two ascending lists.
+TriangleCount merge_intersect(std::span<const VertexId> a,
+                              std::span<const VertexId> b,
+                              KernelCounters& counters) {
+  TriangleCount hits = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++counters.lookups;
+    if (a[i] == b[j]) {
+      ++hits;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return hits;
+}
+
+/// Ships a block to `dest` and receives this rank's next block from `src`.
+/// Blob mode: one message round-trip per block (§5.2). Array mode: the
+/// four arrays travel as separate messages and are reassembled — the
+/// serialization overhead the blob optimization removes.
+BlockCsr shift_block(mpisim::Comm& comm, BlockCsr block, int dest, int src,
+                     int blob_tag, int array_tag, bool blob_comm) {
+  if (blob_comm) {
+    const std::vector<std::byte> blob = block.to_blob();
+    mpisim::Message m = comm.sendrecv_bytes(
+        dest, blob_tag, std::span<const std::byte>(blob), src, blob_tag);
+    return BlockCsr::from_blob(m.payload);
+  }
+  const std::uint64_t rows = block.num_local_rows();
+  comm.send_value<std::uint64_t>(dest, array_tag, rows);
+  comm.send<std::uint64_t>(dest, array_tag, block.xadj());
+  comm.send<VertexId>(dest, array_tag, block.adj());
+  comm.send<VertexId>(dest, array_tag, block.nonempty());
+  const auto in_rows = comm.recv_value<std::uint64_t>(src, array_tag);
+  auto in_xadj = comm.recv<std::uint64_t>(src, array_tag);
+  auto in_adj = comm.recv<VertexId>(src, array_tag);
+  auto in_nonempty = comm.recv<VertexId>(src, array_tag);
+  // Reassemble via the entry path to keep one construction code path.
+  std::vector<LocalEntry> entries;
+  entries.reserve(in_adj.size());
+  for (VertexId r = 0; r + 1 < in_xadj.size(); ++r) {
+    for (std::uint64_t at = in_xadj[r]; at < in_xadj[r + 1]; ++at) {
+      entries.push_back(LocalEntry{r, in_adj[at]});
+    }
+  }
+  (void)in_nonempty;
+  return BlockCsr::from_entries(static_cast<VertexId>(in_rows),
+                                std::move(entries));
+}
+
+}  // namespace
+
+TriangleCount intersect_blocks(const BlockCsr& tasks, const BlockCsr& ublock,
+                               const BlockCsr& lblock, const Config& config,
+                               hashmap::VertexHashSet& scratch,
+                               KernelCounters& counters) {
+  TriangleCount found = 0;
+  const bool use_map = config.intersection == Intersection::kMap;
+
+  auto process_row = [&](VertexId r) {
+    ++counters.rows_visited;
+    const auto task_cols = tasks.row(r);
+    if (task_cols.empty()) return;
+    const auto urow = ublock.row(r);
+    if (urow.empty()) return;  // no closing vertices in this column block
+
+    if (use_map) {
+      scratch.build(urow, config.modified_hashing);
+      ++counters.hash_builds;
+      if (scratch.mode() == hashmap::VertexHashSet::Mode::kDirect) {
+        ++counters.direct_builds;
+      }
+    }
+    const VertexId umin = urow.front();
+
+    for (const VertexId e : task_cols) {
+      if (e >= lblock.num_local_rows()) continue;
+      const auto lrow = lblock.row(e);
+      if (lrow.empty()) continue;
+      ++counters.intersection_tasks;
+
+      if (!use_map) {
+        found += merge_intersect(urow, lrow, counters);
+        continue;
+      }
+      if (config.backward_early_exit) {
+        // §5.2: the lookup list is ascending and the hash holds nothing
+        // below umin, so walk from the largest id and stop at the first
+        // id below umin — every further lookup would miss.
+        for (std::size_t at = lrow.size(); at-- > 0;) {
+          const VertexId k = lrow[at];
+          if (k < umin) {
+            ++counters.early_exits;
+            break;
+          }
+          ++counters.lookups;
+          if (scratch.contains(k)) {
+            ++counters.hits;
+            ++found;
+          }
+        }
+      } else {
+        for (const VertexId k : lrow) {
+          ++counters.lookups;
+          if (scratch.contains(k)) {
+            ++counters.hits;
+            ++found;
+          }
+        }
+      }
+    }
+  };
+
+  if (config.doubly_sparse) {
+    for (const VertexId r : tasks.nonempty()) process_row(r);
+  } else {
+    for (VertexId r = 0; r < tasks.num_local_rows(); ++r) process_row(r);
+  }
+  return found;
+}
+
+CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
+                         const Config& config) {
+  mpisim::Comm& comm = grid.comm();
+  const int q = grid.q();
+  CountOutput out;
+
+  hashmap::VertexHashSet scratch;
+  scratch.reserve_for(std::max<std::size_t>(
+      {blocks.ublock.max_row_degree(), std::size_t{16}}));
+  scratch.reset_probes();
+
+  PhaseTracker tracker(comm);
+  std::uint64_t lookups_before = 0;
+  for (int s = 0; s < q; ++s) {
+    out.local_triangles += intersect_blocks(blocks.tasks, blocks.ublock,
+                                            blocks.lblock, config, scratch,
+                                            out.kernel);
+    if (s + 1 < q) {
+      // U one column left, L one row up (paper §5.1). Buffered sendrecv
+      // keeps the ring deadlock-free.
+      blocks.ublock =
+          shift_block(comm, std::move(blocks.ublock), grid.left(),
+                      grid.right(), kTagUBlock, kTagUArrays, config.blob_comm);
+      blocks.lblock =
+          shift_block(comm, std::move(blocks.lblock), grid.up(), grid.down(),
+                      kTagLBlock, kTagLArrays, config.blob_comm);
+    }
+    PhaseSample sample = tracker.cut();
+    sample.ops = out.kernel.lookups - lookups_before;
+    lookups_before = out.kernel.lookups;
+    out.shifts.push_back(sample);
+  }
+  out.kernel.probes = scratch.probes();
+
+  out.total_triangles = mpisim::allreduce_sum(comm, out.local_triangles);
+  return out;
+}
+
+}  // namespace tricount::core

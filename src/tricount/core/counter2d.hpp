@@ -1,0 +1,47 @@
+// The triangle counting phase (paper §5.1): √p compute steps interleaved
+// with Cannon-pattern shifts of the U and L blocks, followed by a global
+// reduction of the per-rank counts.
+//
+// At step s, rank (x,y) holds U_{x,z} and L_{z,y} with z = (x+y+s) mod q
+// (Equation 6); blocks arrive pre-aligned from preprocessing. The compute
+// step runs the map-based (or list-based) intersection kernel over the
+// rank's task block; then U shifts one column left and L one row up.
+#pragma once
+
+#include "tricount/core/block_matrix.hpp"
+#include "tricount/core/config.hpp"
+#include "tricount/core/instrumentation.hpp"
+#include "tricount/core/preprocess.hpp"
+#include "tricount/graph/types.hpp"
+#include "tricount/hashmap/hash_set.hpp"
+#include "tricount/mpisim/cart2d.hpp"
+
+namespace tricount::core {
+
+using graph::TriangleCount;
+
+struct CountOutput {
+  /// Triangles found by this rank's tasks (pre-reduction).
+  TriangleCount local_triangles = 0;
+  /// Global total (allreduce over ranks).
+  TriangleCount total_triangles = 0;
+  /// One sample per shift: the shift's compute plus its communication.
+  std::vector<PhaseSample> shifts;
+  KernelCounters kernel;
+};
+
+/// One compute step: intersects every task (r, e) in `tasks` against the
+/// currently-held U and L blocks. For the ⟨j,i,k⟩ scheme r is the
+/// higher-degree endpoint j (its U row gets hashed) and e is i (its L row
+/// is looked up); for ⟨i,j,k⟩ the roles are r = i, e = j. Exposed
+/// separately for unit testing.
+TriangleCount intersect_blocks(const BlockCsr& tasks, const BlockCsr& ublock,
+                               const BlockCsr& lblock, const Config& config,
+                               hashmap::VertexHashSet& scratch,
+                               KernelCounters& counters);
+
+/// Runs the full counting phase. Consumes (shifts away) the U/L blocks.
+CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
+                         const Config& config);
+
+}  // namespace tricount::core

@@ -1,0 +1,87 @@
+// Public entry points: run the full distributed pipeline (input slice ->
+// preprocessing -> Cannon counting -> reduction) on a simulated world of
+// p ranks and return the count plus every measurement the evaluation
+// section needs.
+//
+// This is the API the examples and benchmarks use:
+//
+//   auto result = tricount::core::count_triangles_2d(graph, /*ranks=*/16);
+//   std::cout << result.triangles << "\n";
+//   std::cout << result.total_modeled_seconds() << "\n";
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tricount/core/config.hpp"
+#include "tricount/core/counter2d.hpp"
+#include "tricount/core/instrumentation.hpp"
+#include "tricount/graph/edge_list.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/util/cost_model.hpp"
+
+namespace tricount::core {
+
+struct RunOptions {
+  Config config;
+  util::AlphaBetaModel model;
+  /// Check block structural invariants after preprocessing (tests).
+  bool validate_blocks = false;
+};
+
+struct RunResult {
+  graph::TriangleCount triangles = 0;
+  int ranks = 0;
+  int grid_q = 0;
+  VertexId num_vertices = 0;
+  EdgeIndex num_edges = 0;
+  util::AlphaBetaModel model;
+  /// Preprocessing superstep names, in pipeline order (same on all ranks).
+  std::vector<std::string> step_names;
+  std::vector<RankStats> per_rank;
+
+  // --- derived metrics (see instrumentation.hpp for the model) ----------
+
+  /// Per-rank samples of one preprocessing superstep / one shift.
+  std::vector<PhaseSample> step_samples(std::size_t step_index) const;
+  std::vector<PhaseSample> shift_samples(std::size_t shift_index) const;
+  std::size_t num_shifts() const;
+
+  /// Modeled parallel times (the reproduction's analogue of the paper's
+  /// ppt / tct / overall columns).
+  double pre_modeled_seconds() const;
+  double tc_modeled_seconds() const;
+  double total_modeled_seconds() const { return pre_modeled_seconds() + tc_modeled_seconds(); }
+
+  /// Modeled communication-only time per phase (Figure 3).
+  double pre_modeled_comm_seconds() const;
+  double tc_modeled_comm_seconds() const;
+
+  /// Total abstract operations per phase (Figure 2).
+  std::uint64_t pre_ops() const;
+  std::uint64_t tc_ops() const;
+
+  /// Kernel counters summed over ranks (Table 4, §7.1 probes).
+  KernelCounters total_kernel() const;
+
+  /// Max/avg compute seconds of shift `i` across ranks (Table 3).
+  double shift_max_compute(std::size_t shift_index) const;
+  double shift_avg_compute(std::size_t shift_index) const;
+};
+
+/// Counts triangles of a replicated, simplified edge list on a simulated
+/// world of `ranks` ranks (must be a perfect square).
+RunResult count_triangles_2d(const graph::EdgeList& graph, int ranks,
+                             const RunOptions& options = {});
+
+/// Same, from a prebuilt symmetric CSR — cheaper input slicing when the
+/// same graph is swept over many grid sizes (the bench harness path).
+RunResult count_triangles_2d(const graph::Csr& csr, int ranks,
+                             const RunOptions& options = {});
+
+/// Same, but the graph is RMAT-generated inside the run, distributed, as
+/// in the paper's synthetic-dataset experiments.
+RunResult count_triangles_2d_rmat(const graph::RmatParams& params, int ranks,
+                                  const RunOptions& options = {});
+
+}  // namespace tricount::core

@@ -1,0 +1,220 @@
+#include "tricount/core/summa2d.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tricount/core/counter2d.hpp"
+#include "tricount/core/dist_graph.hpp"
+#include "tricount/core/preprocess.hpp"
+#include "tricount/mpisim/collectives.hpp"
+#include "tricount/mpisim/runtime.hpp"
+
+namespace tricount::core {
+
+namespace {
+
+constexpr int kTagSummaU = 201;
+constexpr int kTagSummaL = 202;
+
+struct PanelEntry {
+  VertexId panel = 0;
+  VertexId row = 0;
+  VertexId col = 0;
+};
+
+struct SummaBlocks {
+  std::vector<BlockCsr> upanels;  ///< panel z = col + t*qc at index t
+  std::vector<BlockCsr> lpanels;  ///< panel z = row + t*qr at index t
+  BlockCsr tasks;
+};
+
+SummaBlocks scatter_summa(mpisim::Comm& comm, int qr, int qc, int K,
+                          const RelabeledSlice& slice,
+                          Enumeration enumeration) {
+  const auto qrv = static_cast<VertexId>(qr);
+  const auto qcv = static_cast<VertexId>(qc);
+  const auto Kv = static_cast<VertexId>(K);
+  const std::size_t p = static_cast<std::size_t>(comm.size());
+  auto rank_of = [qc](int x, int y) { return x * qc + y; };
+
+  std::vector<std::vector<PanelEntry>> u_out(p);
+  std::vector<std::vector<PanelEntry>> l_out(p);
+  std::vector<std::vector<PanelEntry>> t_out(p);
+
+  for (std::size_t k = 0; k < slice.adj.size(); ++k) {
+    const VertexId w = slice.new_ids[k];
+    for (const VertexId u : slice.adj[k]) {
+      if (u > w) {
+        const VertexId z = u % Kv;
+        // U_{x,z} at rank (w%qr, z%qc).
+        const int u_dest = rank_of(static_cast<int>(w % qrv),
+                                   static_cast<int>(z % qcv));
+        u_out[static_cast<std::size_t>(u_dest)].push_back(
+            PanelEntry{z, w / qrv, u / Kv});
+        // L_{z,y} at rank (z%qr, w%qc), stored row-major by i = w.
+        const int l_dest = rank_of(static_cast<int>(z % qrv),
+                                   static_cast<int>(w % qcv));
+        l_out[static_cast<std::size_t>(l_dest)].push_back(
+            PanelEntry{z, w / qcv, u / Kv});
+        if (enumeration == Enumeration::kIJK) {
+          const int t_dest = rank_of(static_cast<int>(w % qrv),
+                                     static_cast<int>(u % qcv));
+          t_out[static_cast<std::size_t>(t_dest)].push_back(
+              PanelEntry{0, w / qrv, u / qcv});
+        }
+      } else if (u < w && enumeration == Enumeration::kJIK) {
+        const int t_dest = rank_of(static_cast<int>(w % qrv),
+                                   static_cast<int>(u % qcv));
+        t_out[static_cast<std::size_t>(t_dest)].push_back(
+            PanelEntry{0, w / qrv, u / qcv});
+      }
+    }
+  }
+
+  const auto u_in = mpisim::alltoallv(comm, u_out);
+  const auto l_in = mpisim::alltoallv(comm, l_out);
+  const auto t_in = mpisim::alltoallv(comm, t_out);
+
+  const int x = comm.rank() / qc;
+  const int y = comm.rank() % qc;
+  const VertexId n = slice.num_vertices;
+
+  SummaBlocks blocks;
+  // Split incoming panel entries by local panel index, then build CSRs.
+  const int u_count = K / qc;
+  const int l_count = K / qr;
+  std::vector<std::vector<LocalEntry>> u_split(static_cast<std::size_t>(u_count));
+  std::vector<std::vector<LocalEntry>> l_split(static_cast<std::size_t>(l_count));
+  for (const auto& bucket : u_in) {
+    for (const PanelEntry& e : bucket) {
+      u_split[e.panel / static_cast<VertexId>(qc)].push_back(
+          LocalEntry{e.row, e.col});
+    }
+  }
+  for (const auto& bucket : l_in) {
+    for (const PanelEntry& e : bucket) {
+      l_split[e.panel / static_cast<VertexId>(qr)].push_back(
+          LocalEntry{e.row, e.col});
+    }
+  }
+  const VertexId u_rows = cyclic_row_count(n, qr, x);
+  const VertexId l_rows = cyclic_row_count(n, qc, y);
+  for (auto& entries : u_split) {
+    blocks.upanels.push_back(BlockCsr::from_entries(u_rows, std::move(entries)));
+  }
+  for (auto& entries : l_split) {
+    blocks.lpanels.push_back(BlockCsr::from_entries(l_rows, std::move(entries)));
+  }
+  std::vector<LocalEntry> task_entries;
+  for (const auto& bucket : t_in) {
+    for (const PanelEntry& e : bucket) {
+      task_entries.push_back(LocalEntry{e.row, e.col});
+    }
+  }
+  blocks.tasks = BlockCsr::from_entries(u_rows, std::move(task_entries));
+  return blocks;
+}
+
+/// Owner broadcasts a block (as its §5.2 blob) to the other members of
+/// its grid row/column via a binomial group broadcast.
+BlockCsr panel_bcast(mpisim::Comm& comm, const BlockCsr* own,
+                     int owner_index, std::span<const int> members) {
+  std::vector<std::byte> blob;
+  if (own != nullptr) blob = own->to_blob();
+  mpisim::bcast_group(comm, blob, members, owner_index);
+  if (own != nullptr) return *own;
+  return BlockCsr::from_blob(blob);
+}
+
+}  // namespace
+
+SummaResult count_triangles_summa(const graph::EdgeList& graph,
+                                  const SummaOptions& options) {
+  const int qr = options.grid_rows;
+  const int qc = options.grid_cols;
+  if (qr <= 0 || qc <= 0) {
+    throw std::invalid_argument("summa: grid dims must be positive");
+  }
+  const int p = qr * qc;
+  const int K = qr / std::gcd(qr, qc) * qc;
+
+  SummaResult result;
+  result.ranks = p;
+  result.grid_rows = qr;
+  result.grid_cols = qc;
+  result.panels = K;
+
+  std::vector<PhaseSample> pre_samples(static_cast<std::size_t>(p));
+  std::vector<std::vector<PhaseSample>> step_samples(
+      static_cast<std::size_t>(p));
+  std::vector<KernelCounters> kernels(static_cast<std::size_t>(p));
+  graph::TriangleCount triangles = 0;
+
+  mpisim::run_world(p, [&](mpisim::Comm& comm) {
+    const int x = comm.rank() / qc;
+    const int y = comm.rank() % qc;
+    PhaseTracker tracker(comm);
+
+    const LocalSlice input =
+        block_slice_from_edges(graph, comm.rank(), comm.size());
+    const CyclicSlice cyclic = cyclic_redistribute(comm, input);
+    const RelabeledSlice relabeled = degree_relabel(comm, cyclic);
+    SummaBlocks blocks =
+        scatter_summa(comm, qr, qc, K, relabeled, options.config.enumeration);
+    pre_samples[static_cast<std::size_t>(comm.rank())] = tracker.cut();
+
+    std::vector<int> row_members;
+    for (int c = 0; c < qc; ++c) row_members.push_back(x * qc + c);
+    std::vector<int> col_members;
+    for (int r = 0; r < qr; ++r) col_members.push_back(r * qc + y);
+
+    hashmap::VertexHashSet scratch;
+    KernelCounters kernel;
+    graph::TriangleCount local = 0;
+    std::uint64_t lookups_before = 0;
+    auto& steps = step_samples[static_cast<std::size_t>(comm.rank())];
+    for (int z = 0; z < K; ++z) {
+      const int u_owner = x * qc + (z % qc);
+      const BlockCsr* own_u =
+          comm.rank() == u_owner
+              ? &blocks.upanels[static_cast<std::size_t>(z / qc)]
+              : nullptr;
+      const BlockCsr uz = panel_bcast(comm, own_u, z % qc, row_members);
+      const int l_owner = (z % qr) * qc + y;
+      const BlockCsr* own_l =
+          comm.rank() == l_owner
+              ? &blocks.lpanels[static_cast<std::size_t>(z / qr)]
+              : nullptr;
+      const BlockCsr lz = panel_bcast(comm, own_l, z % qr, col_members);
+      local += intersect_blocks(blocks.tasks, uz, lz, options.config, scratch,
+                                kernel);
+      PhaseSample s = tracker.cut();
+      s.ops = kernel.lookups - lookups_before;
+      lookups_before = kernel.lookups;
+      steps.push_back(s);
+    }
+    kernel.probes = scratch.probes();
+    kernels[static_cast<std::size_t>(comm.rank())] = kernel;
+
+    const graph::TriangleCount total = mpisim::allreduce_sum(comm, local);
+    if (comm.rank() == 0) triangles = total;
+  });
+
+  result.triangles = triangles;
+  result.pre_modeled_seconds =
+      breakdown(pre_samples).modeled_seconds(options.model);
+  for (int z = 0; z < K; ++z) {
+    std::vector<PhaseSample> at_step;
+    at_step.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      at_step.push_back(step_samples[static_cast<std::size_t>(r)]
+                                    [static_cast<std::size_t>(z)]);
+    }
+    result.tc_modeled_seconds +=
+        breakdown(at_step).modeled_seconds(options.model);
+  }
+  for (const KernelCounters& k : kernels) result.kernel += k;
+  return result;
+}
+
+}  // namespace tricount::core

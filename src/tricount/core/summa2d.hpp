@@ -1,0 +1,53 @@
+// Rectangular-grid triangle counting via the SUMMA communication pattern —
+// the extension the paper's conclusion sketches ("this work can be easily
+// extended to deal with rectangular processor grids using the SUMMA
+// algorithm").
+//
+// The grid is qr × qc (p = qr·qc, not necessarily square). The inner (k)
+// dimension is split into K = lcm(qr, qc) cyclic panels:
+//   U_{x,z}: rows j with j%qr == x, columns k with k%K == z,
+//            owned by rank (x, z%qc);
+//   L_{z,y}: rows i with i%qc == y, columns k with k%K == z,
+//            owned by rank (z%qr, y);
+//   tasks (j,i) at rank (j%qr, i%qc), as in the Cannon formulation.
+// Step z broadcasts U_{x,z} along grid row x and L_{z,y} along grid
+// column y, then every rank runs the same intersection kernel. On a
+// square grid this is block-for-block the Cannon distribution, just with
+// broadcasts instead of shifts.
+#pragma once
+
+#include "tricount/core/config.hpp"
+#include "tricount/core/instrumentation.hpp"
+#include "tricount/graph/edge_list.hpp"
+#include "tricount/util/cost_model.hpp"
+
+namespace tricount::core {
+
+struct SummaOptions {
+  int grid_rows = 2;
+  int grid_cols = 2;
+  Config config;
+  util::AlphaBetaModel model;
+};
+
+struct SummaResult {
+  graph::TriangleCount triangles = 0;
+  int ranks = 0;
+  int grid_rows = 0;
+  int grid_cols = 0;
+  int panels = 0;  ///< K = lcm(qr, qc)
+  /// Modeled parallel times, same construction as RunResult's.
+  double pre_modeled_seconds = 0.0;
+  double tc_modeled_seconds = 0.0;
+  KernelCounters kernel;  ///< summed over ranks
+
+  double total_modeled_seconds() const {
+    return pre_modeled_seconds + tc_modeled_seconds;
+  }
+};
+
+/// Counts triangles on a qr × qc simulated grid.
+SummaResult count_triangles_summa(const graph::EdgeList& graph,
+                                  const SummaOptions& options);
+
+}  // namespace tricount::core

@@ -1,0 +1,32 @@
+#include "tricount/graph/approx.hpp"
+
+#include <stdexcept>
+
+#include "tricount/graph/csr.hpp"
+#include "tricount/graph/serial_count.hpp"
+#include "tricount/util/rng.hpp"
+
+namespace tricount::graph {
+
+ApproxCount approx_triangles_doulion(const EdgeList& simplified,
+                                     double retention, std::uint64_t seed) {
+  if (!(retention > 0.0) || retention > 1.0) {
+    throw std::invalid_argument("doulion: retention must be in (0, 1]");
+  }
+  util::Xoshiro256 rng(seed);
+  EdgeList sparse;
+  sparse.num_vertices = simplified.num_vertices;
+  for (const Edge& e : simplified.edges) {
+    if (rng.uniform() < retention) sparse.edges.push_back(e);
+  }
+  ApproxCount result;
+  result.kept_edges = sparse.edges.size();
+  result.retention = retention;
+  result.sparsified_triangles =
+      count_triangles_serial(Csr::from_edges(sparse));
+  result.estimate = static_cast<double>(result.sparsified_triangles) /
+                    (retention * retention * retention);
+  return result;
+}
+
+}  // namespace tricount::graph

@@ -1,0 +1,30 @@
+// Approximate triangle counting by edge sparsification (DOULION,
+// Tsourakakis et al.). The paper's introduction frames the field as
+// "exact and approximate" counting; this is the standard approximate
+// counterpart: keep each edge independently with probability q, count
+// triangles exactly on the sparsified graph, and scale by 1/q³ — an
+// unbiased estimator whose variance shrinks as q → 1.
+#pragma once
+
+#include <cstdint>
+
+#include "tricount/graph/edge_list.hpp"
+
+namespace tricount::graph {
+
+struct ApproxCount {
+  /// Unbiased estimate of the triangle count: sparsified_count / q^3.
+  double estimate = 0.0;
+  /// Exact count on the sparsified graph.
+  TriangleCount sparsified_triangles = 0;
+  /// Edges kept / edges given.
+  EdgeIndex kept_edges = 0;
+  double retention = 1.0;
+};
+
+/// Sparsify-and-count with retention probability q in (0, 1]. The input
+/// must be simplified. Deterministic for a given seed.
+ApproxCount approx_triangles_doulion(const EdgeList& simplified,
+                                     double retention, std::uint64_t seed);
+
+}  // namespace tricount::graph

@@ -1,0 +1,61 @@
+// Compressed sparse row (CSR) graph storage, plus the doubly-compressed
+// variant (DCSR, Buluç & Gilbert) the paper's §5.2 "doubly sparse
+// traversal" optimization relies on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tricount/graph/edge_list.hpp"
+#include "tricount/graph/types.hpp"
+
+namespace tricount::graph {
+
+/// Standard CSR: xadj has n+1 offsets into adj.
+class Csr {
+ public:
+  Csr() = default;
+  Csr(VertexId num_vertices, std::vector<EdgeIndex> xadj,
+      std::vector<VertexId> adj);
+
+  /// Builds the symmetric CSR of a simplified edge list: each undirected
+  /// edge appears in both endpoints' adjacency lists, sorted ascending.
+  static Csr from_edges(const EdgeList& graph);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeIndex num_directed_edges() const { return adj_.size(); }
+  /// Undirected edge count (num_directed_edges / 2 for symmetric CSR).
+  EdgeIndex num_edges() const { return adj_.size() / 2; }
+
+  EdgeIndex degree(VertexId v) const {
+    return xadj_[v + 1] - xadj_[v];
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+  }
+
+  const std::vector<EdgeIndex>& xadj() const { return xadj_; }
+  const std::vector<VertexId>& adj() const { return adj_; }
+
+  EdgeIndex max_degree() const;
+
+  /// True iff a sorted adjacency list of v contains u (binary search).
+  bool has_edge(VertexId v, VertexId u) const;
+
+  /// Structural sanity: offsets monotone, ids in range, lists sorted.
+  /// Throws std::runtime_error on violation.
+  void validate() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeIndex> xadj_{0};
+  std::vector<VertexId> adj_;
+};
+
+/// Doubly-compressed view: the ids of rows with non-empty adjacency lists.
+/// After the 2D cyclic decomposition most local rows are empty; iterating
+/// this list instead of [0, n) is the paper's doubly-sparse traversal.
+std::vector<VertexId> nonempty_rows(const Csr& csr);
+
+}  // namespace tricount::graph

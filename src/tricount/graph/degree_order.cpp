@@ -1,0 +1,39 @@
+#include "tricount/graph/degree_order.hpp"
+
+#include "tricount/util/prefix.hpp"
+
+namespace tricount::graph {
+
+namespace {
+std::vector<VertexId> positions_from_degrees(
+    const std::vector<EdgeIndex>& deg) {
+  // Counting sort by degree; scanning vertices in id order within a degree
+  // bucket makes the tie-break "by vertex id" and the sort stable.
+  EdgeIndex dmax = 0;
+  for (const EdgeIndex d : deg) dmax = std::max(dmax, d);
+  std::vector<EdgeIndex> histogram(static_cast<std::size_t>(dmax) + 1, 0);
+  for (const EdgeIndex d : deg) ++histogram[d];
+  util::exclusive_prefix_sum(histogram);
+  std::vector<VertexId> positions(deg.size());
+  for (std::size_t v = 0; v < deg.size(); ++v) {
+    positions[v] = static_cast<VertexId>(histogram[deg[v]]++);
+  }
+  return positions;
+}
+}  // namespace
+
+std::vector<VertexId> degree_order_positions(const Csr& csr) {
+  std::vector<EdgeIndex> deg(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) deg[v] = csr.degree(v);
+  return positions_from_degrees(deg);
+}
+
+std::vector<VertexId> degree_order_positions(const EdgeList& graph) {
+  return positions_from_degrees(degrees(graph));
+}
+
+EdgeList apply_degree_order(const EdgeList& graph) {
+  return relabel(graph, degree_order_positions(graph));
+}
+
+}  // namespace tricount::graph

@@ -1,0 +1,29 @@
+// Degree-based vertex ordering (paper §3.1, §5.3).
+//
+// Triangle counting is dramatically faster when vertices are relabeled in
+// non-decreasing degree order before counting. These serial helpers define
+// the canonical ordering; the distributed counting sort in core/preprocess
+// must produce exactly the same permutation (up to the documented
+// tie-break), which the test suite checks.
+#pragma once
+
+#include <vector>
+
+#include "tricount/graph/csr.hpp"
+#include "tricount/graph/edge_list.hpp"
+
+namespace tricount::graph {
+
+/// positions[v] = rank of v in non-decreasing-degree order, ties broken by
+/// vertex id (a stable counting sort). positions is a permutation of
+/// [0, n).
+std::vector<VertexId> degree_order_positions(const Csr& csr);
+
+/// Same, computed from an edge list.
+std::vector<VertexId> degree_order_positions(const EdgeList& graph);
+
+/// Relabels the graph so that vertex v becomes positions[v]; the result
+/// has non-decreasing degree in vertex id order.
+EdgeList apply_degree_order(const EdgeList& graph);
+
+}  // namespace tricount::graph

@@ -1,0 +1,64 @@
+#include "tricount/graph/edge_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tricount::graph {
+
+EdgeList simplify(EdgeList graph) {
+  auto& edges = graph.edges;
+  for (auto& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+    if (e.u >= graph.num_vertices || e.v >= graph.num_vertices) {
+      throw std::out_of_range("simplify: edge endpoint out of range");
+    }
+  }
+  std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return graph;
+}
+
+std::vector<EdgeIndex> degrees(const EdgeList& graph) {
+  std::vector<EdgeIndex> deg(graph.num_vertices, 0);
+  for (const Edge& e : graph.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+EdgeIndex max_degree(const EdgeList& graph) {
+  const auto deg = degrees(graph);
+  EdgeIndex best = 0;
+  for (const EdgeIndex d : deg) best = std::max(best, d);
+  return best;
+}
+
+EdgeList relabel(const EdgeList& graph, const std::vector<VertexId>& perm) {
+  if (perm.size() != graph.num_vertices) {
+    throw std::invalid_argument("relabel: permutation size mismatch");
+  }
+  EdgeList out;
+  out.num_vertices = graph.num_vertices;
+  out.edges.reserve(graph.edges.size());
+  for (const Edge& e : graph.edges) {
+    VertexId u = perm[e.u];
+    VertexId v = perm[e.v];
+    if (u > v) std::swap(u, v);
+    out.edges.push_back(Edge{u, v});
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+bool is_permutation(const std::vector<VertexId>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const VertexId v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace tricount::graph

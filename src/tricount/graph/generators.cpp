@@ -1,0 +1,238 @@
+#include "tricount/graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tricount/util/rng.hpp"
+
+namespace tricount::graph {
+
+namespace {
+
+/// Bijective scrambling of an id within [0, 2^scale): invertible steps
+/// modulo 2^scale (odd multiply, xorshift, add), so degree structure is
+/// preserved while locality between nearby ids is destroyed — the same
+/// role as Graph500's vertex scrambling.
+VertexId scramble(VertexId v, int scale, std::uint64_t seed) {
+  const std::uint64_t mask = (std::uint64_t{1} << scale) - 1;
+  std::uint64_t x = v;
+  x = (x * 0x9E3779B97F4A7C15ULL + seed) & mask;
+  x ^= x >> (scale / 2 + 1);
+  x = (x * 0xBF58476D1CE4E5B9ULL) & mask;
+  x ^= x >> (scale / 2 + 1);
+  x = (x + (seed >> 32)) & mask;
+  return static_cast<VertexId>(x);
+}
+
+Edge rmat_edge(const RmatParams& params, EdgeIndex index) {
+  util::Xoshiro256 rng(util::stream_seed(params.seed, index));
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  VertexId u = 0;
+  VertexId v = 0;
+  for (int level = 0; level < params.scale; ++level) {
+    const double r = rng.uniform();
+    u <<= 1;
+    v <<= 1;
+    if (r < params.a) {
+      // top-left quadrant: no bits set
+    } else if (r < ab) {
+      v |= 1;  // top-right
+    } else if (r < abc) {
+      u |= 1;  // bottom-left
+    } else {
+      u |= 1;  // bottom-right
+      v |= 1;
+    }
+  }
+  if (params.scramble_ids) {
+    u = scramble(u, params.scale, params.seed);
+    v = scramble(v, params.scale, params.seed);
+  }
+  return Edge{u, v};
+}
+
+}  // namespace
+
+std::vector<Edge> rmat_edge_slice(const RmatParams& params, EdgeIndex begin,
+                                  EdgeIndex end) {
+  if (params.scale < 1 || params.scale > 31) {
+    throw std::invalid_argument("rmat: scale must be in [1, 31]");
+  }
+  const double total = params.a + params.b + params.c + params.d;
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("rmat: quadrant probabilities must sum to 1");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(end - begin));
+  for (EdgeIndex i = begin; i < end; ++i) {
+    edges.push_back(rmat_edge(params, i));
+  }
+  return edges;
+}
+
+EdgeList rmat(const RmatParams& params) {
+  EdgeList graph;
+  graph.num_vertices = params.num_vertices();
+  graph.edges = rmat_edge_slice(params, 0, params.num_edge_slots());
+  return simplify(std::move(graph));
+}
+
+RmatParams twitter_like_params(int scale, std::uint64_t seed) {
+  // High skew concentrates edges on hubs, producing the triangle-dense,
+  // probe-heavy behaviour the paper reports for twitter (§7.1).
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 28.0;
+  p.a = 0.62;
+  p.b = 0.18;
+  p.c = 0.18;
+  p.d = 0.02;
+  p.seed = seed;
+  return p;
+}
+
+RmatParams friendster_like_params(int scale, std::uint64_t seed) {
+  // Closer-to-uniform quadrants give a flatter degree distribution and far
+  // fewer triangles per edge, mimicking friendster's character.
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 15.0;
+  p.a = 0.45;
+  p.b = 0.22;
+  p.c = 0.22;
+  p.d = 0.11;
+  p.seed = seed;
+  return p;
+}
+
+EdgeList erdos_renyi(VertexId n, EdgeIndex m, std::uint64_t seed) {
+  EdgeList graph;
+  graph.num_vertices = n;
+  if (n < 2) return graph;
+  util::Xoshiro256 rng(seed);
+  graph.edges.reserve(m);
+  for (EdgeIndex i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    graph.edges.push_back(Edge{u, v});
+  }
+  return simplify(std::move(graph));
+}
+
+EdgeList watts_strogatz(VertexId n, int k, double beta, std::uint64_t seed) {
+  if (k % 2 != 0 || k < 0) {
+    throw std::invalid_argument("watts_strogatz: k must be even and >= 0");
+  }
+  EdgeList graph;
+  graph.num_vertices = n;
+  if (n < 2) return graph;
+  util::Xoshiro256 rng(seed);
+  for (VertexId u = 0; u < n; ++u) {
+    for (int j = 1; j <= k / 2; ++j) {
+      VertexId v = static_cast<VertexId>((u + static_cast<VertexId>(j)) % n);
+      if (rng.uniform() < beta) {
+        v = static_cast<VertexId>(rng.bounded(n));
+      }
+      graph.edges.push_back(Edge{u, v});
+    }
+  }
+  return simplify(std::move(graph));
+}
+
+EdgeList complete_graph(VertexId n) {
+  EdgeList graph;
+  graph.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      graph.edges.push_back(Edge{u, v});
+    }
+  }
+  return graph;
+}
+
+EdgeList cycle_graph(VertexId n) {
+  EdgeList graph;
+  graph.num_vertices = n;
+  if (n < 3) return graph;
+  for (VertexId u = 0; u < n; ++u) {
+    graph.edges.push_back(Edge{u, static_cast<VertexId>((u + 1) % n)});
+  }
+  return simplify(std::move(graph));
+}
+
+EdgeList path_graph(VertexId n) {
+  EdgeList graph;
+  graph.num_vertices = n;
+  for (VertexId u = 0; u + 1 < n; ++u) {
+    graph.edges.push_back(Edge{u, u + 1});
+  }
+  return graph;
+}
+
+EdgeList star_graph(VertexId leaves) {
+  EdgeList graph;
+  graph.num_vertices = leaves + 1;
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    graph.edges.push_back(Edge{0, leaf});
+  }
+  return graph;
+}
+
+EdgeList wheel_graph(VertexId rim) {
+  if (rim < 3) throw std::invalid_argument("wheel_graph: rim must be >= 3");
+  EdgeList graph;
+  graph.num_vertices = rim + 1;  // vertex 0 is the hub
+  for (VertexId i = 0; i < rim; ++i) {
+    const VertexId u = 1 + i;
+    const VertexId v = 1 + (i + 1) % rim;
+    graph.edges.push_back(Edge{u, v});
+    graph.edges.push_back(Edge{0, u});
+  }
+  return simplify(std::move(graph));
+}
+
+EdgeList grid_graph(VertexId rows, VertexId cols) {
+  EdgeList graph;
+  graph.num_vertices = rows * cols;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) graph.edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) graph.edges.push_back(Edge{id(r, c), id(r + 1, c)});
+    }
+  }
+  return graph;
+}
+
+EdgeList complete_bipartite(VertexId left, VertexId right) {
+  EdgeList graph;
+  graph.num_vertices = left + right;
+  for (VertexId u = 0; u < left; ++u) {
+    for (VertexId v = 0; v < right; ++v) {
+      graph.edges.push_back(Edge{u, static_cast<VertexId>(left + v)});
+    }
+  }
+  return graph;
+}
+
+EdgeList petersen_graph() {
+  EdgeList graph;
+  graph.num_vertices = 10;
+  // Outer 5-cycle, inner 5-star polygon, and spokes.
+  for (VertexId i = 0; i < 5; ++i) {
+    graph.edges.push_back(Edge{i, static_cast<VertexId>((i + 1) % 5)});
+    graph.edges.push_back(
+        Edge{static_cast<VertexId>(5 + i), static_cast<VertexId>(5 + (i + 2) % 5)});
+    graph.edges.push_back(Edge{i, static_cast<VertexId>(5 + i)});
+  }
+  return simplify(std::move(graph));
+}
+
+TriangleCount complete_graph_triangles(VertexId n) {
+  if (n < 3) return 0;
+  const auto big = static_cast<TriangleCount>(n);
+  return big * (big - 1) * (big - 2) / 6;
+}
+
+}  // namespace tricount::graph

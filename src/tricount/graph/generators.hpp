@@ -1,0 +1,73 @@
+// Graph generators.
+//
+// The paper evaluates on Graph500 RMAT graphs (g500-s26..s29) generated
+// in-memory by each run, plus the twitter and friendster social networks.
+// This module provides:
+//  * a from-scratch Graph500-style RMAT generator whose edges are a pure
+//    function of (params, edge index), so a distributed run can generate
+//    its slice of edges independently — mirroring the paper's "our
+//    algorithm creates these synthetic graphs as input to each run";
+//  * surrogate presets for twitter/friendster (see DESIGN.md §1);
+//  * Erdős–Rényi and Watts–Strogatz generators;
+//  * small deterministic graphs with closed-form triangle counts for the
+//    test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "tricount/graph/edge_list.hpp"
+
+namespace tricount::graph {
+
+struct RmatParams {
+  int scale = 14;              ///< n = 2^scale vertices
+  double edge_factor = 16.0;   ///< m = edge_factor * n generated edge slots
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;  ///< Graph500 defaults
+  bool scramble_ids = true;    ///< bijective id scrambling, as Graph500 does
+  std::uint64_t seed = 1;
+
+  VertexId num_vertices() const { return VertexId{1} << scale; }
+  EdgeIndex num_edge_slots() const {
+    return static_cast<EdgeIndex>(edge_factor *
+                                  static_cast<double>(num_vertices()));
+  }
+};
+
+/// Generates the directed edge slots with indices [begin, end). Each slot
+/// is a pure function of (params, index): two calls with overlapping
+/// ranges agree, which is what lets p ranks generate disjoint slices of
+/// the same graph with no communication.
+std::vector<Edge> rmat_edge_slice(const RmatParams& params, EdgeIndex begin,
+                                  EdgeIndex end);
+
+/// Full RMAT graph, simplified (undirected, deduplicated, no self-loops).
+EdgeList rmat(const RmatParams& params);
+
+/// Surrogates for the paper's real-world datasets (DESIGN.md §1): RMAT
+/// skew tuned so twitter-like is triangle-dense and friendster-like is
+/// triangle-sparse for its size.
+RmatParams twitter_like_params(int scale, std::uint64_t seed = 7);
+RmatParams friendster_like_params(int scale, std::uint64_t seed = 11);
+
+/// G(n, m) Erdős–Rényi (uniform random simple graph with ~m edges).
+EdgeList erdos_renyi(VertexId n, EdgeIndex m, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbours (k even),
+/// each edge rewired with probability beta.
+EdgeList watts_strogatz(VertexId n, int k, double beta, std::uint64_t seed);
+
+// --- deterministic test graphs with known triangle counts ----------------
+
+EdgeList complete_graph(VertexId n);       ///< C(n,3) triangles
+EdgeList cycle_graph(VertexId n);          ///< 0 for n > 3, 1 for n == 3
+EdgeList path_graph(VertexId n);           ///< 0 triangles
+EdgeList star_graph(VertexId leaves);      ///< 0 triangles
+EdgeList wheel_graph(VertexId rim);        ///< `rim` triangles (rim >= 3)
+EdgeList grid_graph(VertexId rows, VertexId cols);  ///< 0 triangles
+EdgeList complete_bipartite(VertexId left, VertexId right);  ///< 0 triangles
+EdgeList petersen_graph();                 ///< 0 triangles, girth 5
+
+/// Number of triangles in the complete graph on n vertices: C(n, 3).
+TriangleCount complete_graph_triangles(VertexId n);
+
+}  // namespace tricount::graph

@@ -1,0 +1,49 @@
+// k-truss decomposition — one of the paper's motivating applications
+// (§1: "the computations involved in triangle counting forms an important
+// step in computing the k-truss decomposition of a graph").
+//
+// The k-truss of G is the maximal subgraph in which every edge is
+// supported by at least k-2 triangles. The decomposition assigns each
+// edge its *trussness*: the largest k such that the edge survives in the
+// k-truss. Edges in no triangle have trussness 2.
+//
+// Implementation: triangle-support counting via sorted-adjacency
+// intersection (the same kernel family as the counters), then the
+// standard bucket-queue peeling in increasing support order, decrementing
+// the support of co-triangle edges on removal.
+#pragma once
+
+#include <vector>
+
+#include "tricount/graph/csr.hpp"
+#include "tricount/graph/edge_list.hpp"
+
+namespace tricount::graph {
+
+struct KtrussResult {
+  /// trussness[i] = trussness of edges[i] in the *simplified* input
+  /// ordering; >= 2 for every edge.
+  std::vector<int> trussness;
+  /// Largest k with a non-empty k-truss (2 for triangle-free graphs, 0
+  /// for edgeless graphs).
+  int max_k = 0;
+
+  /// Edges whose trussness is >= k (the k-truss subgraph's edges).
+  std::vector<Edge> truss_edges(const EdgeList& simplified, int k) const;
+};
+
+/// Computes the full truss decomposition. The input must be simplified
+/// (use simplify()); throws std::invalid_argument otherwise.
+KtrussResult ktruss_decomposition(const EdgeList& simplified);
+
+/// Peeling from precomputed supports (e.g. the distributed 2D support
+/// counter in core/dist_truss). `support` must be aligned with the
+/// simplified edge order.
+KtrussResult ktruss_from_supports(const EdgeList& simplified,
+                                  std::vector<TriangleCount> support);
+
+/// Triangle support of every edge (number of triangles containing it), in
+/// the simplified input ordering. Sum equals 3 * triangle count.
+std::vector<TriangleCount> edge_supports(const EdgeList& simplified);
+
+}  // namespace tricount::graph

@@ -1,0 +1,161 @@
+#include "tricount/graph/serial_count.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tricount/graph/degree_order.hpp"
+#include "tricount/hashmap/hash_set.hpp"
+
+namespace tricount::graph {
+
+namespace {
+
+/// Builds the "forward" DAG adjacency: out[v] = neighbours that come after
+/// v in the given total order, each list sorted by order position.
+std::vector<std::vector<VertexId>> forward_adjacency(
+    const Csr& csr, const std::vector<VertexId>& position) {
+  std::vector<std::vector<VertexId>> out(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (const VertexId w : csr.neighbors(v)) {
+      if (position[w] > position[v]) out[v].push_back(w);
+    }
+    std::sort(out[v].begin(), out[v].end(),
+              [&](VertexId a, VertexId b) { return position[a] < position[b]; });
+  }
+  return out;
+}
+
+TriangleCount intersect_sorted(const std::vector<VertexId>& a,
+                               const std::vector<VertexId>& b,
+                               const std::vector<VertexId>& position) {
+  TriangleCount count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const VertexId pa = position[a[i]];
+    const VertexId pb = position[b[j]];
+    if (pa == pb) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (pa < pb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+TriangleCount count_triangles_serial(const Csr& csr, IntersectionKind kind) {
+  // Non-decreasing-degree order (§3.1): position[v] = rank of v.
+  const std::vector<VertexId> position = degree_order_positions(csr);
+  const auto forward = forward_adjacency(csr, position);
+
+  TriangleCount total = 0;
+  if (kind == IntersectionKind::kList) {
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      for (const VertexId w : forward[v]) {
+        total += intersect_sorted(forward[v], forward[w], position);
+      }
+    }
+  } else {
+    hashmap::VertexHashSet set;
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      if (forward[v].empty()) continue;
+      set.build(std::span<const VertexId>(forward[v]), /*allow_direct=*/true);
+      for (const VertexId w : forward[v]) {
+        for (const VertexId x : forward[w]) {
+          if (set.contains(x)) ++total;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+TriangleCount count_triangles_id_order(const Csr& csr) {
+  TriangleCount total = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const auto nv = csr.neighbors(v);
+    for (const VertexId w : nv) {
+      if (w <= v) continue;
+      const auto nw = csr.neighbors(w);
+      // Count x > w adjacent to both v and w (lists are id-sorted).
+      auto iv = std::upper_bound(nv.begin(), nv.end(), w);
+      auto iw = std::upper_bound(nw.begin(), nw.end(), w);
+      while (iv != nv.end() && iw != nw.end()) {
+        if (*iv == *iw) {
+          ++total;
+          ++iv;
+          ++iw;
+        } else if (*iv < *iw) {
+          ++iv;
+        } else {
+          ++iw;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<TriangleCount> per_vertex_triangles(const Csr& csr) {
+  std::vector<TriangleCount> counts(csr.num_vertices(), 0);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const auto nv = csr.neighbors(v);
+    for (const VertexId w : nv) {
+      if (w <= v) continue;
+      const auto nw = csr.neighbors(w);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), w);
+      auto iw = std::upper_bound(nw.begin(), nw.end(), w);
+      while (iv != nv.end() && iw != nw.end()) {
+        if (*iv == *iw) {
+          ++counts[v];
+          ++counts[w];
+          ++counts[*iv];
+          ++iv;
+          ++iw;
+        } else if (*iv < *iw) {
+          ++iv;
+        } else {
+          ++iw;
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+TriangleCount count_wedges(const Csr& csr) {
+  TriangleCount wedges = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const TriangleCount d = csr.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double transitivity(const Csr& csr) {
+  const TriangleCount wedges = count_wedges(csr);
+  if (wedges == 0) return 0.0;
+  const TriangleCount triangles = count_triangles_serial(csr);
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
+}
+
+double average_local_clustering(const Csr& csr) {
+  if (csr.num_vertices() == 0) return 0.0;
+  const auto tri = per_vertex_triangles(csr);
+  double total = 0.0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const TriangleCount d = csr.degree(v);
+    if (d < 2) continue;
+    const double possible = static_cast<double>(d) * static_cast<double>(d - 1) / 2.0;
+    total += static_cast<double>(tri[v]) / possible;
+  }
+  return total / static_cast<double>(csr.num_vertices());
+}
+
+}  // namespace tricount::graph

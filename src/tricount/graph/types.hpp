@@ -1,0 +1,30 @@
+// Fundamental graph types.
+#pragma once
+
+#include <cstdint>
+
+namespace tricount::graph {
+
+/// Vertex identifier. 32 bits covers every graph this reproduction runs
+/// (the paper's largest is 2^29 vertices) at half the memory/bandwidth of
+/// 64-bit ids, which matters for a communication-bound algorithm.
+using VertexId = std::uint32_t;
+
+/// Edge/offset index; 64-bit because edge counts exceed 2^32 at scale.
+using EdgeIndex = std::uint64_t;
+
+/// Triangle totals overflow 32 bits on even mid-size graphs.
+using TriangleCount = std::uint64_t;
+
+constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// An undirected edge; endpoint order is not meaningful.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace tricount::graph

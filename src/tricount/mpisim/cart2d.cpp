@@ -1,0 +1,27 @@
+#include "tricount/mpisim/cart2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tricount::mpisim {
+
+int perfect_square_root(int p) {
+  if (p <= 0) return 0;
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  return q * q == p ? q : 0;
+}
+
+Cart2D::Cart2D(Comm& comm)
+    : comm_(comm),
+      q_(perfect_square_root(comm.size())),
+      row_(0),
+      col_(0) {
+  if (q_ == 0) {
+    throw std::invalid_argument(
+        "Cart2D: communicator size must be a perfect square");
+  }
+  row_ = comm.rank() / q_;
+  col_ = comm.rank() % q_;
+}
+
+}  // namespace tricount::mpisim

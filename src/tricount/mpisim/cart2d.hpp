@@ -1,0 +1,44 @@
+// 2D square process-grid topology (the √p × √p grid of the paper).
+//
+// Rank (x, y) is laid out row-major: rank = x·√p + y, with processor
+// P_{x,y} in row x and column y. Neighbour accessors wrap around, which is
+// exactly what Cannon's shift pattern needs.
+#pragma once
+
+#include "tricount/mpisim/comm.hpp"
+
+namespace tricount::mpisim {
+
+/// Returns the integer square root of p if p is a perfect square, else 0.
+int perfect_square_root(int p);
+
+class Cart2D {
+ public:
+  /// Throws std::invalid_argument if comm.size() is not a perfect square.
+  explicit Cart2D(Comm& comm);
+
+  Comm& comm() { return comm_; }
+  const Comm& comm() const { return comm_; }
+
+  /// Grid dimension q = √p.
+  int q() const { return q_; }
+  /// This rank's grid row x and column y.
+  int row() const { return row_; }
+  int col() const { return col_; }
+
+  int rank_of(int x, int y) const { return x * q_ + y; }
+
+  /// Wraparound neighbours.
+  int left() const { return rank_of(row_, (col_ - 1 + q_) % q_); }
+  int right() const { return rank_of(row_, (col_ + 1) % q_); }
+  int up() const { return rank_of((row_ - 1 + q_) % q_, col_); }
+  int down() const { return rank_of((row_ + 1) % q_, col_); }
+
+ private:
+  Comm& comm_;
+  int q_;
+  int row_;
+  int col_;
+};
+
+}  // namespace tricount::mpisim

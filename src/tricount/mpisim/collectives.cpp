@@ -1,0 +1,20 @@
+#include "tricount/mpisim/collectives.hpp"
+
+namespace tricount::mpisim {
+
+void barrier(Comm& comm) {
+  // Dissemination barrier: in round k each rank signals rank+2^k and waits
+  // for rank-2^k (mod p). After ceil(log2 p) rounds every rank transitively
+  // depends on every other, so none can exit before all have entered.
+  const int p = comm.size();
+  const std::byte token{0};
+  for (int k = 1; k < p; k <<= 1) {
+    const int tag = comm.next_collective_tag();
+    const int dest = (comm.rank() + k) % p;
+    const int src = (comm.rank() - k % p + p) % p;
+    comm.send_bytes(dest, tag, std::span<const std::byte>(&token, 1));
+    (void)comm.recv_message(src, tag);
+  }
+}
+
+}  // namespace tricount::mpisim

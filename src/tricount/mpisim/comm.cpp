@@ -1,0 +1,82 @@
+#include "tricount/mpisim/comm.hpp"
+
+#include <algorithm>
+
+#include "tricount/mpisim/runtime.hpp"
+#include "tricount/util/time.hpp"
+
+namespace tricount::mpisim {
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
+  messages_sent += other.messages_sent;
+  bytes_sent += other.bytes_sent;
+  messages_received += other.messages_received;
+  bytes_received += other.bytes_received;
+  comm_cpu_seconds += other.comm_cpu_seconds;
+  return *this;
+}
+
+PerfCounters PerfCounters::operator-(const PerfCounters& other) const {
+  PerfCounters d;
+  d.messages_sent = messages_sent - other.messages_sent;
+  d.bytes_sent = bytes_sent - other.bytes_sent;
+  d.messages_received = messages_received - other.messages_received;
+  d.bytes_received = bytes_received - other.bytes_received;
+  d.comm_cpu_seconds = comm_cpu_seconds - other.comm_cpu_seconds;
+  return d;
+}
+
+Comm::Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+int Comm::size() const { return world_.size(); }
+
+PerfCounters& Comm::counters() { return world_.counters(rank_); }
+
+const PerfCounters& Comm::counters() const { return world_.counters(rank_); }
+
+int Comm::next_collective_tag() {
+  // Cycle within the reserved space; 2^30 distinct tags is far more than
+  // any run performs, so reuse cannot collide with in-flight traffic.
+  const int tag = kReservedTagBase + collective_seq_;
+  collective_seq_ = (collective_seq_ + 1) & ((1 << 30) - 1 - kReservedTagBase);
+  return tag;
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  if (dest < 0 || dest >= size()) {
+    throw std::invalid_argument("mpisim: send to invalid rank");
+  }
+  const double t0 = util::thread_cpu_seconds();
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.assign(payload.begin(), payload.end());
+  world_.mailbox(dest).push(std::move(m));
+  PerfCounters& c = counters();
+  c.messages_sent += 1;
+  c.bytes_sent += payload.size();
+  c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
+}
+
+Message Comm::recv_message(int source, int tag) {
+  const double t0 = util::thread_cpu_seconds();
+  Message m = world_.mailbox(rank_).pop(source, tag);
+  PerfCounters& c = counters();
+  c.messages_received += 1;
+  c.bytes_received += m.payload.size();
+  c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
+  return m;
+}
+
+Message Comm::sendrecv_bytes(int dest, int send_tag,
+                             std::span<const std::byte> payload, int source,
+                             int recv_tag) {
+  send_bytes(dest, send_tag, payload);
+  return recv_message(source, recv_tag);
+}
+
+bool Comm::iprobe(int source, int tag) {
+  return world_.mailbox(rank_).probe(source, tag);
+}
+
+}  // namespace tricount::mpisim

@@ -1,0 +1,126 @@
+// Comm: a rank's handle onto the simulated communicator.
+//
+// The API mirrors the subset of MPI the paper's algorithm needs: tagged
+// buffered point-to-point transfers, sendrecv, and (in collectives.hpp)
+// barrier/bcast/reduce/allreduce/gather/allgather/alltoallv/scan/exscan.
+// Sends are buffered (the payload is copied into the destination mailbox
+// and the call returns immediately), which corresponds to MPI_Bsend
+// semantics and makes shift patterns like Cannon's trivially deadlock-free.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "tricount/mpisim/mailbox.hpp"
+#include "tricount/mpisim/message.hpp"
+
+namespace tricount::mpisim {
+
+class World;
+
+class Comm {
+ public:
+  Comm(World& world, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- untyped point-to-point -------------------------------------------
+
+  /// Buffered send: copies `payload` to `dest`'s mailbox and returns.
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Blocking receive matching (source, tag); wildcards allowed.
+  Message recv_message(int source = kAnySource, int tag = kAnyTag);
+
+  /// Simultaneous send and receive. Because sends are buffered this is
+  /// send-then-receive, which matches MPI_Sendrecv's deadlock freedom.
+  Message sendrecv_bytes(int dest, int send_tag,
+                         std::span<const std::byte> payload, int source,
+                         int recv_tag);
+
+  /// Non-blocking probe for a matching message.
+  bool iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  // --- typed convenience wrappers ---------------------------------------
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send<T>(dest, tag, std::span<const T>(data));
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source = kAnySource, int tag = kAnyTag,
+                      int* actual_source = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv_message(source, tag);
+    if (actual_source != nullptr) *actual_source = m.source;
+    return unpack<T>(m.payload);
+  }
+
+  template <typename T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag) {
+    const auto v = recv<T>(source, tag);
+    return v.at(0);
+  }
+
+  template <typename T>
+  std::vector<T> sendrecv(int dest, int send_tag, std::span<const T> data,
+                          int source, int recv_tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m =
+        sendrecv_bytes(dest, send_tag, std::as_bytes(data), source, recv_tag);
+    return unpack<T>(m.payload);
+  }
+
+  template <typename T>
+  std::vector<T> sendrecv(int dest, int send_tag, const std::vector<T>& data,
+                          int source, int recv_tag) {
+    return sendrecv<T>(dest, send_tag, std::span<const T>(data), source,
+                       recv_tag);
+  }
+
+  // --- instrumentation ----------------------------------------------------
+
+  PerfCounters& counters();
+  const PerfCounters& counters() const;
+
+  /// Next tag in the reserved collective tag space. Every rank executes
+  /// collectives in the same order, so per-rank counters stay aligned.
+  int next_collective_tag();
+
+  World& world() { return world_; }
+
+  template <typename T>
+  static std::vector<T> unpack(std::span<const std::byte> payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (payload.size() % sizeof(T) != 0) {
+      throw std::runtime_error("mpisim: payload size not a multiple of T");
+    }
+    std::vector<T> out(payload.size() / sizeof(T));
+    if (!out.empty()) {
+      std::memcpy(out.data(), payload.data(), payload.size());
+    }
+    return out;
+  }
+
+ private:
+  World& world_;
+  int rank_;
+  int collective_seq_ = 0;
+};
+
+}  // namespace tricount::mpisim

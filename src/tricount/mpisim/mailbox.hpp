@@ -1,0 +1,53 @@
+// A rank's incoming-message queue with MPI-style matching.
+//
+// Matching honours MPI's non-overtaking rule: among messages that match a
+// receive's (source, tag) pattern, the earliest-arriving one is delivered
+// first. Wildcards kAnySource / kAnyTag are supported.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "tricount/mpisim/message.hpp"
+
+namespace tricount::mpisim {
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called by the sender's thread).
+  void push(Message message);
+
+  /// Blocks until a message matching (source, tag) is available and
+  /// removes it. Throws std::runtime_error if the world is shut down by a
+  /// failure while waiting (see fail()).
+  Message pop(int source, int tag);
+
+  /// Non-blocking variant; returns false if no matching message is queued.
+  bool try_pop(int source, int tag, Message& out);
+
+  /// Returns true if a matching message is queued (MPI_Iprobe analogue).
+  bool probe(int source, int tag);
+
+  /// Marks the world as failed and wakes all waiters so a crashing rank
+  /// cannot leave its peers blocked forever.
+  void fail();
+
+  std::size_t queued() const;
+
+ private:
+  static bool matches(const Message& m, int source, int tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  /// Finds the first matching message; returns queue_.size() if none.
+  std::size_t find_locked(int source, int tag) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool failed_ = false;
+};
+
+}  // namespace tricount::mpisim

@@ -1,0 +1,45 @@
+// Message and per-rank performance counters for the mpisim runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tricount::mpisim {
+
+/// Rank identifiers are plain ints, as in MPI.
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for the collective
+/// implementations; user point-to-point traffic must stay below it.
+constexpr int kReservedTagBase = 1 << 28;
+
+/// An in-flight message: envelope plus owned payload bytes. Payloads are
+/// always copied between ranks — ranks never share graph memory, which is
+/// what makes this a faithful distributed-memory model.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-rank traffic counters, maintained by every Comm operation. The
+/// bench harness converts these to modeled communication time via the
+/// α–β cost model (util::AlphaBetaModel).
+struct PerfCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  /// CPU seconds this rank spent inside communication calls (packing,
+  /// copying, matching). Wait time blocked on a condition variable does
+  /// not consume CPU and is deliberately excluded: on an oversubscribed
+  /// host, wait time measures the scheduler, not the algorithm.
+  double comm_cpu_seconds = 0.0;
+
+  PerfCounters& operator+=(const PerfCounters& other);
+  PerfCounters operator-(const PerfCounters& other) const;
+};
+
+}  // namespace tricount::mpisim

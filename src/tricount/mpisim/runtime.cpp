@@ -1,0 +1,122 @@
+#include "tricount/mpisim/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace tricount::mpisim {
+
+// ---------------------------------------------------------------------------
+// Mailbox
+
+void Mailbox::push(Message message) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_locked(int source, int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (matches(queue_[i], source, tag)) return i;
+  }
+  return queue_.size();
+}
+
+Message Mailbox::pop(int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t at = queue_.size();
+  cv_.wait(lock, [&] {
+    if (failed_) return true;
+    at = find_locked(source, tag);
+    return at < queue_.size();
+  });
+  if (at >= queue_.size()) {
+    throw std::runtime_error(
+        "mpisim: receive aborted, a peer rank failed while this rank was "
+        "blocked");
+  }
+  Message m = std::move(queue_[at]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  return m;
+}
+
+bool Mailbox::try_pop(int source, int tag, Message& out) {
+  std::scoped_lock lock(mutex_);
+  const std::size_t at = find_locked(source, tag);
+  if (at >= queue_.size()) return false;
+  out = std::move(queue_[at]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  return true;
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::scoped_lock lock(mutex_);
+  return find_locked(source, tag) < queue_.size();
+}
+
+void Mailbox::fail() {
+  {
+    std::scoped_lock lock(mutex_);
+    failed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::queued() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// World & run_world
+
+World::World(int size) : size_(size), counters_(static_cast<size_t>(size)) {
+  if (size <= 0) throw std::invalid_argument("mpisim: world size must be > 0");
+  mailboxes_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::fail_all() {
+  for (auto& mb : mailboxes_) mb->fail();
+}
+
+std::vector<PerfCounters> run_world(int size, const RankFn& fn) {
+  World world(size);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](int rank) {
+    Comm comm(world, rank);
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.fail_all();
+    }
+  };
+
+  if (size == 1) {
+    // Single-rank worlds run inline: cheaper, and debugger-friendly.
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      threads.emplace_back(rank_main, r);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return world.all_counters();
+}
+
+}  // namespace tricount::mpisim

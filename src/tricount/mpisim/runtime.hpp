@@ -1,0 +1,45 @@
+// Runtime: spawns a world of p ranks, each an OS thread running the same
+// rank function (the SPMD main), and joins them.
+//
+// Each rank gets a Comm handle; ranks may communicate only through it.
+// If any rank throws, the world is failed (all blocked receives wake and
+// throw) and the first exception is rethrown to the caller, so a bug in
+// one rank cannot hang the whole test suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tricount/mpisim/comm.hpp"
+#include "tricount/mpisim/mailbox.hpp"
+
+namespace tricount::mpisim {
+
+/// Shared world state. Created by run_world(); Comm handles reference it.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const { return size_; }
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<size_t>(rank)); }
+  PerfCounters& counters(int rank) { return counters_.at(static_cast<size_t>(rank)); }
+  const std::vector<PerfCounters>& all_counters() const { return counters_; }
+
+  /// Wakes every blocked receiver with a failure. Called when a rank
+  /// throws.
+  void fail_all();
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<PerfCounters> counters_;
+};
+
+using RankFn = std::function<void(Comm&)>;
+
+/// Runs `fn` on `size` ranks and returns the per-rank traffic counters.
+/// Rethrows the first rank exception, if any.
+std::vector<PerfCounters> run_world(int size, const RankFn& fn);
+
+}  // namespace tricount::mpisim

@@ -1,0 +1,127 @@
+#include "tricount/util/argparse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace tricount::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void ArgParser::add_flag(const std::string& name, bool default_value,
+                         const std::string& help) {
+  options_[name] = Option{default_value ? "1" : "0", help, /*is_flag=*/true};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      failed_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), arg.c_str());
+      failed_ = true;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    bool negated = false;
+    if (options_.find(arg) == options_.end() && arg.rfind("no-", 0) == 0) {
+      const std::string positive = arg.substr(3);
+      if (auto it = options_.find(positive);
+          it != options_.end() && it->second.is_flag) {
+        arg = positive;
+        negated = true;
+      }
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n%s", program_.c_str(),
+                   arg.c_str(), usage().c_str());
+      failed_ = true;
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[arg] = negated ? "0" : (has_value ? value : "1");
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: option '--%s' needs a value\n",
+                       program_.c_str(), arg.c_str());
+          failed_ = true;
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw std::invalid_argument("argparse: option not registered: " + name);
+  }
+  return it->second.default_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n" << description_ << "\n\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "  (default: " << opt.default_value << ")\n      " << opt.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tricount::util

@@ -1,0 +1,54 @@
+// Minimal command-line parser for the bench/ and examples/ binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` /
+// `--no-flag` options. Unknown options are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tricount::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers an option. `help` appears in usage output.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given
+  /// or parsing failed; callers should exit(0)/exit(1) accordingly.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. "16,25,36" -> {16, 25, 36}.
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  bool parse_failed() const { return failed_; }
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  bool failed_ = false;
+};
+
+}  // namespace tricount::util

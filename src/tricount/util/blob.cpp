@@ -1,0 +1,84 @@
+#include "tricount/util/blob.hpp"
+
+namespace tricount::util {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x54434e54424c4f42ULL;  // "TCNTBLOB"
+constexpr std::size_t kAlign = 8;
+
+std::size_t aligned(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+BlobWriter::BlobWriter() = default;
+
+void BlobWriter::add_raw_section(const void* data, std::size_t elem_size,
+                                 std::size_t count) {
+  directory_.push_back(static_cast<std::uint64_t>(elem_size));
+  directory_.push_back(static_cast<std::uint64_t>(count));
+  const std::size_t bytes = elem_size * count;
+  const std::size_t offset = body_.size();
+  body_.resize(offset + aligned(bytes));
+  if (bytes > 0) std::memcpy(body_.data() + offset, data, bytes);
+  ++sections_;
+}
+
+std::vector<std::byte> BlobWriter::take() {
+  // Layout: magic | section count | directory | body.
+  std::vector<std::byte> out;
+  const std::size_t header_words = 2 + directory_.size();
+  out.resize(header_words * sizeof(std::uint64_t) + body_.size());
+  std::uint64_t* header = reinterpret_cast<std::uint64_t*>(out.data());
+  header[0] = kMagic;
+  header[1] = static_cast<std::uint64_t>(sections_);
+  std::memcpy(header + 2, directory_.data(),
+              directory_.size() * sizeof(std::uint64_t));
+  std::memcpy(out.data() + header_words * sizeof(std::uint64_t), body_.data(),
+              body_.size());
+  body_.clear();
+  directory_.clear();
+  sections_ = 0;
+  return out;
+}
+
+BlobReader::BlobReader(std::span<const std::byte> blob) : blob_(blob) {
+  if (blob.size() < 2 * sizeof(std::uint64_t)) {
+    throw std::runtime_error("blob: buffer too small for header");
+  }
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, blob.data(), sizeof(magic));
+  if (magic != kMagic) throw std::runtime_error("blob: bad magic");
+  std::uint64_t sections = 0;
+  std::memcpy(&sections, blob.data() + sizeof(std::uint64_t),
+              sizeof(sections));
+  sections_ = static_cast<std::size_t>(sections);
+  body_offset_ = (2 + 2 * sections_) * sizeof(std::uint64_t);
+  if (blob.size() < body_offset_) {
+    throw std::runtime_error("blob: buffer too small for directory");
+  }
+}
+
+std::pair<const std::byte*, std::size_t> BlobReader::next_raw_section(
+    std::size_t elem_size) {
+  if (cursor_ >= sections_) {
+    throw std::runtime_error("blob: no sections remaining");
+  }
+  std::uint64_t stored_elem = 0;
+  std::uint64_t count = 0;
+  const std::size_t dir_at = (2 + 2 * cursor_) * sizeof(std::uint64_t);
+  std::memcpy(&stored_elem, blob_.data() + dir_at, sizeof(stored_elem));
+  std::memcpy(&count, blob_.data() + dir_at + sizeof(std::uint64_t),
+              sizeof(count));
+  if (stored_elem != elem_size) {
+    throw std::runtime_error("blob: section element size mismatch");
+  }
+  const std::size_t bytes = static_cast<std::size_t>(stored_elem * count);
+  if (body_offset_ + bytes > blob_.size()) {
+    throw std::runtime_error("blob: section extends past buffer");
+  }
+  const std::byte* ptr = blob_.data() + body_offset_;
+  body_offset_ += aligned(bytes);
+  ++cursor_;
+  return {ptr, static_cast<std::size_t>(count)};
+}
+
+}  // namespace tricount::util

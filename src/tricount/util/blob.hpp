@@ -1,0 +1,100 @@
+// Blob serialization: pack the arrays of a sparse-matrix-like structure
+// into one contiguous byte buffer.
+//
+// This implements the paper's §5.2 "Reducing overheads associated with
+// communication": instead of serializing/deserializing per-array during
+// every Cannon shift, a block is stored as a single blob of bytes whose
+// interior arrays are "allocated" from the blob. Sending a block is then a
+// single untyped message, and receiving it requires no reassembly.
+//
+// A blob is self-describing: a fixed header records the number of sections
+// and each section's element width and length, so a receiver can map the
+// arrays back out of the byte buffer in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tricount::util {
+
+/// Builds a blob. Append sections in a fixed order known to the reader.
+class BlobWriter {
+ public:
+  BlobWriter();
+
+  /// Appends a typed array as the next section. T must be trivially
+  /// copyable.
+  template <typename T>
+  void add_section(std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add_raw_section(data.data(), sizeof(T), data.size());
+  }
+
+  template <typename T>
+  void add_section(const std::vector<T>& data) {
+    add_section(std::span<const T>(data));
+  }
+
+  /// Appends a single trivially-copyable value as a one-element section.
+  template <typename T>
+  void add_scalar(const T& value) {
+    add_raw_section(&value, sizeof(T), 1);
+  }
+
+  /// Finalizes and returns the blob, leaving the writer empty.
+  std::vector<std::byte> take();
+
+  std::size_t section_count() const { return sections_; }
+
+ private:
+  void add_raw_section(const void* data, std::size_t elem_size,
+                       std::size_t count);
+
+  std::vector<std::byte> body_;
+  std::vector<std::uint64_t> directory_;  // (elem_size, count) pairs
+  std::size_t sections_ = 0;
+};
+
+/// Reads sections back out of a blob in the order they were written.
+/// Sections are viewed in place; the blob must outlive the spans.
+class BlobReader {
+ public:
+  explicit BlobReader(std::span<const std::byte> blob);
+
+  /// Views the next section as a typed span. Throws if the element size
+  /// does not match what was written or sections are exhausted.
+  template <typename T>
+  std::span<const T> next_section() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto [ptr, count] = next_raw_section(sizeof(T));
+    return {reinterpret_cast<const T*>(ptr), count};
+  }
+
+  /// Reads a one-element section written by add_scalar.
+  template <typename T>
+  T next_scalar() {
+    const auto section = next_section<T>();
+    if (section.size() != 1) {
+      throw std::runtime_error("blob: scalar section has wrong length");
+    }
+    return section[0];
+  }
+
+  std::size_t section_count() const { return sections_; }
+  std::size_t sections_remaining() const { return sections_ - cursor_; }
+
+ private:
+  std::pair<const std::byte*, std::size_t> next_raw_section(
+      std::size_t elem_size);
+
+  std::span<const std::byte> blob_;
+  std::size_t sections_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t body_offset_ = 0;
+};
+
+}  // namespace tricount::util

@@ -1,0 +1,25 @@
+#include "tricount/util/cost_model.hpp"
+
+#include <cstdio>
+
+namespace tricount::util {
+
+double AlphaBetaModel::cost(std::uint64_t messages, std::uint64_t bytes) const {
+  return alpha_seconds * static_cast<double>(messages) +
+         beta_seconds_per_byte * static_cast<double>(bytes);
+}
+
+AlphaBetaModel AlphaBetaModel::from_string(const char* spec) {
+  AlphaBetaModel model;
+  if (spec == nullptr) return model;
+  double alpha = 0.0;
+  double beta = 0.0;
+  if (std::sscanf(spec, "%lf,%lf", &alpha, &beta) == 2 && alpha >= 0.0 &&
+      beta >= 0.0) {
+    model.alpha_seconds = alpha;
+    model.beta_seconds_per_byte = beta;
+  }
+  return model;
+}
+
+}  // namespace tricount::util

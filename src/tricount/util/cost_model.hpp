@@ -1,0 +1,34 @@
+// α–β communication cost model.
+//
+// The paper's experiments measured wall-clock communication time on a real
+// cluster interconnect. This reproduction runs all ranks on one machine, so
+// message transfer is a memcpy; to recover a cluster-like communication
+// term for the scaling experiments we charge each message the classic
+// postal model cost
+//
+//     T(msg) = alpha + beta * bytes
+//
+// and compute a phase's modeled communication time from the per-rank
+// message/byte counters recorded by mpisim (see PerfCounters). Defaults
+// approximate a commodity QDR-InfiniBand-era cluster like the paper's
+// (≈1.5 us latency, ≈3.5 GB/s effective point-to-point bandwidth).
+#pragma once
+
+#include <cstdint>
+
+namespace tricount::util {
+
+struct AlphaBetaModel {
+  double alpha_seconds = 1.5e-6;        ///< per-message latency
+  double beta_seconds_per_byte = 1.0 / 3.5e9;  ///< inverse bandwidth
+
+  /// Modeled time for one rank to move `messages` messages totalling
+  /// `bytes` bytes.
+  double cost(std::uint64_t messages, std::uint64_t bytes) const;
+
+  /// Parses "alpha,beta" from an environment-style string; returns the
+  /// default model on parse failure.
+  static AlphaBetaModel from_string(const char* spec);
+};
+
+}  // namespace tricount::util

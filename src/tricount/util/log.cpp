@@ -1,0 +1,41 @@
+#include "tricount/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tricount::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const char* format, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::va_list args;
+  va_start(args, format);
+  {
+    std::scoped_lock lock(g_log_mutex);
+    std::fprintf(stderr, "[%s] ", level_name(level));
+    std::vfprintf(stderr, format, args);
+    std::fputc('\n', stderr);
+  }
+  va_end(args);
+}
+
+}  // namespace tricount::util

@@ -1,0 +1,26 @@
+// Leveled logging with printf formatting. Thread-safe: one line per call.
+#pragma once
+
+#include <cstdarg>
+
+namespace tricount::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define TRICOUNT_LOG_DEBUG(...) \
+  ::tricount::util::log(::tricount::util::LogLevel::kDebug, __VA_ARGS__)
+#define TRICOUNT_LOG_INFO(...) \
+  ::tricount::util::log(::tricount::util::LogLevel::kInfo, __VA_ARGS__)
+#define TRICOUNT_LOG_WARN(...) \
+  ::tricount::util::log(::tricount::util::LogLevel::kWarn, __VA_ARGS__)
+#define TRICOUNT_LOG_ERROR(...) \
+  ::tricount::util::log(::tricount::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tricount::util

@@ -1,0 +1,55 @@
+// Prefix-sum helpers used throughout CSR construction and the distributed
+// counting sort.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tricount::util {
+
+/// In-place exclusive prefix sum; returns the total (sum of all inputs).
+template <typename T>
+T exclusive_prefix_sum(std::span<T> values) {
+  T running = 0;
+  for (auto& v : values) {
+    const T next = running + v;
+    v = running;
+    running = next;
+  }
+  return running;
+}
+
+template <typename T>
+T exclusive_prefix_sum(std::vector<T>& values) {
+  return exclusive_prefix_sum(std::span<T>(values));
+}
+
+/// In-place inclusive prefix sum; returns the total.
+template <typename T>
+T inclusive_prefix_sum(std::span<T> values) {
+  T running = 0;
+  for (auto& v : values) {
+    running += v;
+    v = running;
+  }
+  return running;
+}
+
+template <typename T>
+T inclusive_prefix_sum(std::vector<T>& values) {
+  return inclusive_prefix_sum(std::span<T>(values));
+}
+
+/// Restores a CSR row-pointer array after it has been used as a cursor:
+/// shift entries right by one and set the first to zero.
+template <typename T>
+void shift_right_fill_zero(std::vector<T>& values) {
+  if (values.empty()) return;
+  for (std::size_t i = values.size() - 1; i > 0; --i) {
+    values[i] = values[i - 1];
+  }
+  values[0] = 0;
+}
+
+}  // namespace tricount::util

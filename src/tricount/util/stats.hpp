@@ -1,0 +1,51 @@
+// Small statistics helpers for the instrumentation and bench harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+namespace tricount::util {
+
+template <typename T>
+double mean(std::span<const T> values) {
+  if (values.empty()) return 0.0;
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  return total / static_cast<double>(values.size());
+}
+
+template <typename T>
+T max_value(std::span<const T> values) {
+  if (values.empty()) return T{};
+  return *std::max_element(values.begin(), values.end());
+}
+
+template <typename T>
+T min_value(std::span<const T> values) {
+  if (values.empty()) return T{};
+  return *std::min_element(values.begin(), values.end());
+}
+
+/// Load imbalance as defined in the paper's Table 3: max over average.
+/// Returns 1.0 for empty or all-zero inputs (perfectly balanced).
+template <typename T>
+double load_imbalance(std::span<const T> values) {
+  const double avg = mean(values);
+  if (avg <= 0.0) return 1.0;
+  return static_cast<double>(max_value(values)) / avg;
+}
+
+template <typename T>
+double stddev(std::span<const T> values) {
+  if (values.size() < 2) return 0.0;
+  const double avg = mean(values);
+  double acc = 0.0;
+  for (const T& v : values) {
+    const double d = static_cast<double>(v) - avg;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace tricount::util

@@ -1,0 +1,101 @@
+#include "tricount/util/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tricount::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return cell(std::string(buf.data()));
+}
+
+Table& Table::dash() { return cell(std::string("-")); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << "  ";
+      // Right-align everything; headers too, so columns read as in the
+      // paper's tables.
+      for (std::size_t pad = v.size(); pad < widths[c]; ++pad) os << ' ';
+      os << v;
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << "  ";
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 2; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+void Table::write_csv(const std::string& path, bool append) const {
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+  if (!out) throw std::runtime_error("Table: cannot open " + path);
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      const std::string& v = cells[c];
+      if (v.find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (const char ch : v) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  };
+  if (!append) emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  if (!out) throw std::runtime_error("Table: write failed for " + path);
+}
+
+void print_heading(const std::string& title) {
+  std::printf("\n### %s\n\n", title.c_str());
+}
+
+}  // namespace tricount::util

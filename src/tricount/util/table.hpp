@@ -1,0 +1,48 @@
+// Fixed-width ASCII table printer used by the bench harness to emit
+// paper-style result tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tricount::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  /// Fixed-point with `decimals` fractional digits.
+  Table& cell(double value, int decimals = 2);
+  /// A dash, for cells the paper leaves blank (e.g. the baseline row's
+  /// speedup column).
+  Table& dash();
+
+  /// Renders the table with aligned columns and a separator under the
+  /// header row.
+  std::string str() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Writes the table as CSV (RFC-4180-style quoting) so the figure data
+  /// can be re-plotted. Appends when `append` is set (multi-dataset
+  /// benches write one file with a dataset column). Throws on I/O error.
+  void write_csv(const std::string& path, bool append = false) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "### title" section heading, matching the style the bench
+/// binaries use to delimit reproduced tables/figures.
+void print_heading(const std::string& title);
+
+}  // namespace tricount::util

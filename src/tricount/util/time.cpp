@@ -1,0 +1,59 @@
+#include "tricount/util/time.hpp"
+
+#include <ctime>
+
+#include <array>
+#include <cstdio>
+
+namespace tricount::util {
+
+namespace {
+double clock_seconds(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+}  // namespace
+
+double wall_seconds() { return clock_seconds(CLOCK_MONOTONIC); }
+
+double thread_cpu_seconds() { return clock_seconds(CLOCK_THREAD_CPUTIME_ID); }
+
+double Stopwatch::now() const {
+  return clock_ == Clock::kWall ? wall_seconds() : thread_cpu_seconds();
+}
+
+void Stopwatch::start() {
+  if (running_) return;
+  started_at_ = now();
+  running_ = true;
+}
+
+double Stopwatch::stop() {
+  if (!running_) return 0.0;
+  const double interval = now() - started_at_;
+  total_ += interval;
+  running_ = false;
+  return interval;
+}
+
+double Stopwatch::seconds() const {
+  return running_ ? total_ + (now() - started_at_) : total_;
+}
+
+std::string format_seconds(double seconds) {
+  std::array<char, 64> buf{};
+  if (seconds < 1e-6) {
+    std::snprintf(buf.data(), buf.size(), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf.data(), buf.size(), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf.data(), buf.size(), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.3f s", seconds);
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace tricount::util

@@ -1,0 +1,65 @@
+// Timing utilities.
+//
+// Two clocks matter in this project:
+//  * Wall clock      -- what a user experiences; meaningless for speedup
+//                       measurements when p ranks share one physical core.
+//  * Thread CPU time -- CLOCK_THREAD_CPUTIME_ID; charges each rank only for
+//                       the cycles it actually executed, so per-rank work
+//                       measurements are valid even when the machine is
+//                       oversubscribed. All scaling experiments in bench/
+//                       are built on this clock (see DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tricount::util {
+
+/// Seconds on the monotonic wall clock.
+double wall_seconds();
+
+/// Seconds of CPU time consumed by the *calling thread* only.
+double thread_cpu_seconds();
+
+/// A restartable stopwatch accumulating elapsed time across start/stop
+/// pairs. The clock source is selected at construction.
+class Stopwatch {
+ public:
+  enum class Clock { kWall, kThreadCpu };
+
+  explicit Stopwatch(Clock clock = Clock::kWall) : clock_(clock) {}
+
+  void start();
+  /// Stops the watch and returns the length of the just-finished interval.
+  double stop();
+  void reset() { total_ = 0.0; running_ = false; }
+
+  /// Accumulated seconds over all completed intervals (plus the live one).
+  double seconds() const;
+  bool running() const { return running_; }
+
+ private:
+  double now() const;
+
+  Clock clock_;
+  double total_ = 0.0;
+  double started_at_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII guard that adds the lifetime of the guard to a Stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& watch) : watch_(watch) { watch_.start(); }
+  ~ScopedTimer() { watch_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+/// Formats a duration as a human-friendly string ("123.4 ms", "1.23 s").
+std::string format_seconds(double seconds);
+
+}  // namespace tricount::util

@@ -1,0 +1,91 @@
+// Tests for the DOULION approximate counter: exactness at q = 1,
+// determinism, statistical accuracy on triangle-rich graphs, and
+// parameter validation.
+#include <gtest/gtest.h>
+
+#include "tricount/graph/approx.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/serial_count.hpp"
+
+namespace tricount::graph {
+namespace {
+
+EdgeList dense_graph() {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 12;
+  params.seed = 6;
+  return rmat(params);
+}
+
+TEST(Doulion, RetentionOneIsExact) {
+  const EdgeList g = dense_graph();
+  const TriangleCount exact = count_triangles_serial(Csr::from_edges(g));
+  const ApproxCount approx = approx_triangles_doulion(g, 1.0, 5);
+  EXPECT_EQ(approx.sparsified_triangles, exact);
+  EXPECT_DOUBLE_EQ(approx.estimate, static_cast<double>(exact));
+  EXPECT_EQ(approx.kept_edges, g.edges.size());
+}
+
+TEST(Doulion, DeterministicPerSeed) {
+  const EdgeList g = dense_graph();
+  const ApproxCount a = approx_triangles_doulion(g, 0.4, 17);
+  const ApproxCount b = approx_triangles_doulion(g, 0.4, 17);
+  EXPECT_EQ(a.kept_edges, b.kept_edges);
+  EXPECT_EQ(a.sparsified_triangles, b.sparsified_triangles);
+}
+
+TEST(Doulion, KeepsAboutRetentionFractionOfEdges) {
+  const EdgeList g = dense_graph();
+  const ApproxCount approx = approx_triangles_doulion(g, 0.5, 3);
+  const double kept = static_cast<double>(approx.kept_edges);
+  const double total = static_cast<double>(g.edges.size());
+  EXPECT_NEAR(kept / total, 0.5, 0.05);
+}
+
+TEST(Doulion, MeanEstimateIsCloseToExact) {
+  // The estimator is unbiased; averaging a few seeds at q = 0.5 on a
+  // triangle-rich graph must land near the exact count.
+  const EdgeList g = dense_graph();
+  const double exact =
+      static_cast<double>(count_triangles_serial(Csr::from_edges(g)));
+  double sum = 0.0;
+  const int trials = 7;
+  for (int t = 0; t < trials; ++t) {
+    sum += approx_triangles_doulion(g, 0.5, 100 + static_cast<std::uint64_t>(t))
+               .estimate;
+  }
+  const double mean = sum / trials;
+  EXPECT_NEAR(mean / exact, 1.0, 0.15);
+}
+
+TEST(Doulion, SmallRetentionStillUnbiasedInExpectationDirection) {
+  const EdgeList g = dense_graph();
+  const double exact =
+      static_cast<double>(count_triangles_serial(Csr::from_edges(g)));
+  double sum = 0.0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    sum += approx_triangles_doulion(g, 0.3, 500 + static_cast<std::uint64_t>(t))
+               .estimate;
+  }
+  EXPECT_NEAR(sum / trials / exact, 1.0, 0.3);
+}
+
+TEST(Doulion, InvalidRetentionThrows) {
+  const EdgeList g = simplify(complete_graph(5));
+  EXPECT_THROW(approx_triangles_doulion(g, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(approx_triangles_doulion(g, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(approx_triangles_doulion(g, -0.2, 1), std::invalid_argument);
+}
+
+TEST(Doulion, EmptyGraph) {
+  EdgeList g;
+  g.num_vertices = 10;
+  const ApproxCount approx = approx_triangles_doulion(g, 0.5, 1);
+  EXPECT_EQ(approx.estimate, 0.0);
+  EXPECT_EQ(approx.kept_edges, 0u);
+}
+
+}  // namespace
+}  // namespace tricount::graph

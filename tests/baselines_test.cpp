@@ -1,0 +1,153 @@
+// Tests for the baseline algorithms (paper §4): each must be exact on
+// every graph family and rank count, and their structural characteristics
+// (ghost overlap, wedge counts, 2-core peeling) must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tricount/baselines/aop1d.hpp"
+#include "tricount/baselines/push_based1d.hpp"
+#include "tricount/baselines/wedge_counting.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/serial_count.hpp"
+
+namespace tricount::baselines {
+namespace {
+
+using graph::EdgeList;
+
+TriangleCount reference(const EdgeList& g) {
+  return graph::count_triangles_serial(graph::Csr::from_edges(g));
+}
+
+EdgeList rmat_graph(std::uint64_t seed) {
+  graph::RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 7;
+  params.seed = seed;
+  return graph::rmat(params);
+}
+
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (graph, p)
+
+const std::vector<EdgeList>& sweep_graphs() {
+  static const std::vector<EdgeList>* graphs = [] {
+    auto* v = new std::vector<EdgeList>;
+    v->push_back(rmat_graph(101));
+    v->push_back(graph::simplify(graph::erdos_renyi(250, 1800, 8)));
+    v->push_back(graph::simplify(graph::complete_graph(24)));
+    v->push_back(graph::simplify(graph::wheel_graph(30)));
+    v->push_back(graph::simplify(graph::grid_graph(10, 11)));
+    return v;
+  }();
+  return *graphs;
+}
+
+TEST_P(BaselineSweep, AopMatchesSerial) {
+  const auto [gi, p] = GetParam();
+  const EdgeList& g = sweep_graphs()[static_cast<std::size_t>(gi)];
+  EXPECT_EQ(count_triangles_aop1d(g, p).triangles, reference(g));
+}
+
+TEST_P(BaselineSweep, PushMatchesSerial) {
+  const auto [gi, p] = GetParam();
+  const EdgeList& g = sweep_graphs()[static_cast<std::size_t>(gi)];
+  EXPECT_EQ(count_triangles_push1d(g, p).triangles, reference(g));
+}
+
+TEST_P(BaselineSweep, WedgeMatchesSerial) {
+  const auto [gi, p] = GetParam();
+  const EdgeList& g = sweep_graphs()[static_cast<std::size_t>(gi)];
+  EXPECT_EQ(count_triangles_wedge(g, p).triangles(), reference(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphsByRanks, BaselineSweep,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 2, 4, 7, 9)));
+
+TEST(Aop, RecordsThreePhases) {
+  const EdgeList g = rmat_graph(3);
+  const BaselineResult result = count_triangles_aop1d(g, 4);
+  ASSERT_EQ(result.phase_names.size(), 3u);
+  EXPECT_EQ(result.phase_names[1], "overlap");
+  // Counting phase must be communication-free (the algorithm's point):
+  // only the final allreduce travels, which is tiny.
+  const auto& count_phase = result.phase_samples[2];
+  for (const auto& sample : count_phase) {
+    EXPECT_LE(sample.bytes, 1024u);
+  }
+  // The overlap phase moves real adjacency data on multi-rank runs.
+  std::uint64_t overlap_bytes = 0;
+  for (const auto& sample : result.phase_samples[1]) {
+    overlap_bytes += sample.bytes;
+  }
+  EXPECT_GT(overlap_bytes, 0u);
+}
+
+TEST(Push, MoreRoundsStaysExact) {
+  const EdgeList g = rmat_graph(5);
+  for (const int rounds : {1, 2, 8}) {
+    PushOptions options;
+    options.rounds = rounds;
+    EXPECT_EQ(count_triangles_push1d(g, 4, options).triangles, reference(g));
+  }
+  PushOptions bad;
+  bad.rounds = 0;
+  EXPECT_THROW(count_triangles_push1d(g, 2, bad), std::invalid_argument);
+}
+
+TEST(Wedge, PeelsTreesEntirely) {
+  // A path graph is peeled to nothing by the 2-core decomposition.
+  const EdgeList g = graph::simplify(graph::path_graph(50));
+  const WedgeResult result = count_triangles_wedge(g, 4);
+  EXPECT_EQ(result.triangles(), 0u);
+  EXPECT_EQ(result.vertices_peeled, 50u);
+  EXPECT_EQ(result.wedges_checked, 0u);
+}
+
+TEST(Wedge, KeepsCyclesAndCountsWedges) {
+  // A cycle is its own 2-core; it has wedges but no triangles.
+  const EdgeList g = graph::simplify(graph::cycle_graph(30));
+  const WedgeResult result = count_triangles_wedge(g, 3);
+  EXPECT_EQ(result.triangles(), 0u);
+  EXPECT_EQ(result.vertices_peeled, 0u);
+}
+
+TEST(Wedge, WedgeVolumeExceedsEdgesOnSkewedGraphs) {
+  // The structural reason Havoq loses (§7.4): wedge checks blow up with
+  // degree skew.
+  const EdgeList g = rmat_graph(9);
+  const WedgeResult result = count_triangles_wedge(g, 4);
+  EXPECT_GT(result.wedges_checked, g.edges.size());
+}
+
+TEST(Wedge, RoundsStayExact) {
+  const EdgeList g = rmat_graph(11);
+  for (const int rounds : {1, 3, 6}) {
+    WedgeOptions options;
+    options.rounds = rounds;
+    EXPECT_EQ(count_triangles_wedge(g, 4, options).triangles(), reference(g));
+  }
+}
+
+TEST(Baselines, EmptyGraphsAreFine) {
+  EdgeList empty;
+  empty.num_vertices = 10;
+  EXPECT_EQ(count_triangles_aop1d(empty, 4).triangles, 0u);
+  EXPECT_EQ(count_triangles_push1d(empty, 4).triangles, 0u);
+  EXPECT_EQ(count_triangles_wedge(empty, 4).triangles(), 0u);
+}
+
+TEST(Baselines, ModeledTimesAreFinite) {
+  const EdgeList g = rmat_graph(21);
+  const util::AlphaBetaModel model;
+  const BaselineResult aop = count_triangles_aop1d(g, 4);
+  EXPECT_GE(aop.total_modeled_seconds(model), 0.0);
+  const BaselineResult push = count_triangles_push1d(g, 4);
+  EXPECT_GE(push.total_modeled_seconds(model), 0.0);
+  EXPECT_GT(push.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tricount::baselines

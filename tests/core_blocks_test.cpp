@@ -1,0 +1,84 @@
+// Tests for BlockCsr: construction, transformed-index invariants, blob
+// round-trips, and the cyclic row-count helper.
+#include <gtest/gtest.h>
+
+#include "tricount/core/block_matrix.hpp"
+
+namespace tricount::core {
+namespace {
+
+TEST(CyclicRowCount, MatchesBruteForce) {
+  for (const VertexId n : {0u, 1u, 5u, 16u, 17u, 100u}) {
+    for (const int q : {1, 2, 3, 4, 5, 13}) {
+      for (int residue = 0; residue < q; ++residue) {
+        VertexId expected = 0;
+        for (VertexId v = 0; v < n; ++v) {
+          if (v % static_cast<VertexId>(q) == static_cast<VertexId>(residue)) {
+            ++expected;
+          }
+        }
+        EXPECT_EQ(cyclic_row_count(n, q, residue), expected)
+            << "n=" << n << " q=" << q << " r=" << residue;
+      }
+    }
+  }
+}
+
+TEST(BlockCsr, FromEntriesSortsAndDeduplicates) {
+  const std::vector<LocalEntry> entries = {
+      {2, 9}, {0, 5}, {2, 1}, {0, 5}, {2, 4}};
+  const BlockCsr block = BlockCsr::from_entries(4, entries);
+  block.validate();
+  EXPECT_EQ(block.num_local_rows(), 4u);
+  EXPECT_EQ(block.num_entries(), 4u);  // one duplicate removed
+  const auto row0 = block.row(0);
+  EXPECT_EQ(std::vector<VertexId>(row0.begin(), row0.end()),
+            (std::vector<VertexId>{5}));
+  const auto row2 = block.row(2);
+  EXPECT_EQ(std::vector<VertexId>(row2.begin(), row2.end()),
+            (std::vector<VertexId>{1, 4, 9}));
+  EXPECT_EQ(block.row_degree(1), 0u);
+  EXPECT_EQ(block.nonempty(), (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(block.max_row_degree(), 3u);
+}
+
+TEST(BlockCsr, EmptyBlock) {
+  const BlockCsr block = BlockCsr::from_entries(5, {});
+  block.validate();
+  EXPECT_EQ(block.num_entries(), 0u);
+  EXPECT_TRUE(block.nonempty().empty());
+  EXPECT_EQ(block.max_row_degree(), 0u);
+}
+
+TEST(BlockCsr, ZeroRowBlock) {
+  const BlockCsr block = BlockCsr::from_entries(0, {});
+  block.validate();
+  EXPECT_EQ(block.num_local_rows(), 0u);
+}
+
+TEST(BlockCsr, OutOfRangeRowThrows) {
+  EXPECT_THROW(BlockCsr::from_entries(2, {{2, 0}}), std::out_of_range);
+}
+
+TEST(BlockCsr, BlobRoundTrip) {
+  const std::vector<LocalEntry> entries = {
+      {0, 3}, {1, 1}, {1, 7}, {3, 0}, {3, 2}, {3, 9}};
+  const BlockCsr block = BlockCsr::from_entries(4, entries);
+  const auto blob = block.to_blob();
+  const BlockCsr restored = BlockCsr::from_blob(blob);
+  restored.validate();
+  EXPECT_EQ(restored, block);
+}
+
+TEST(BlockCsr, BlobRoundTripEmpty) {
+  const BlockCsr block = BlockCsr::from_entries(3, {});
+  EXPECT_EQ(BlockCsr::from_blob(block.to_blob()), block);
+}
+
+TEST(BlockCsr, BlobRejectsGarbage) {
+  std::vector<std::byte> garbage(128, std::byte{0x42});
+  EXPECT_THROW(BlockCsr::from_blob(garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tricount::core

@@ -1,0 +1,127 @@
+// Tests for the distributed analytics built on the triangle machinery:
+// label-propagation connected components and distributed k-truss support
+// counting, each validated against its serial reference.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tricount/core/components.hpp"
+#include "tricount/core/dist_truss.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/stats.hpp"
+
+namespace tricount::core {
+namespace {
+
+using graph::EdgeList;
+
+TEST(DistComponentsTest, MatchesSerialOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const EdgeList g = graph::simplify(graph::erdos_renyi(300, 500, seed));
+    const auto serial =
+        graph::connected_components(graph::Csr::from_edges(g));
+    for (const int p : {1, 3, 4, 8}) {
+      const DistComponents dist = connected_components_dist(g, p);
+      EXPECT_EQ(dist.num_components, serial.num_components)
+          << "seed=" << seed << " p=" << p;
+      EXPECT_EQ(dist.largest_component, serial.largest_component);
+      // Same partition: labels must induce the same equivalence classes.
+      for (graph::VertexId u = 0; u + 1 < g.num_vertices; ++u) {
+        EXPECT_EQ(dist.label[u] == dist.label[u + 1],
+                  serial.component[u] == serial.component[u + 1]);
+      }
+    }
+  }
+}
+
+TEST(DistComponentsTest, LabelIsComponentMinimum) {
+  EdgeList g;
+  g.num_vertices = 8;
+  g.edges = {{3, 5}, {5, 7}, {2, 6}};
+  g = graph::simplify(std::move(g));
+  const DistComponents dist = connected_components_dist(g, 4);
+  EXPECT_EQ(dist.label[3], 3u);
+  EXPECT_EQ(dist.label[5], 3u);
+  EXPECT_EQ(dist.label[7], 3u);
+  EXPECT_EQ(dist.label[2], 2u);
+  EXPECT_EQ(dist.label[6], 2u);
+  EXPECT_EQ(dist.label[0], 0u);  // isolated keeps its own id
+  EXPECT_EQ(dist.num_components, 5u);
+}
+
+TEST(DistComponentsTest, EmptyGraph) {
+  EdgeList g;
+  g.num_vertices = 0;
+  const DistComponents dist = connected_components_dist(g, 3);
+  EXPECT_EQ(dist.num_components, 0u);
+}
+
+TEST(DistComponentsTest, ConvergesWithinDiameterRounds) {
+  // A path has diameter n-1; label propagation needs O(n) rounds, and
+  // the round counter must reflect that (sanity of the instrumentation).
+  const EdgeList g = graph::simplify(graph::path_graph(20));
+  const DistComponents dist = connected_components_dist(g, 4);
+  EXPECT_EQ(dist.num_components, 1u);
+  EXPECT_GE(dist.rounds, 19);
+  EXPECT_LE(dist.rounds, 25);
+}
+
+class DistTrussSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (graph, p)
+
+const std::vector<EdgeList>& truss_graphs() {
+  static const std::vector<EdgeList>* graphs = [] {
+    auto* v = new std::vector<EdgeList>;
+    graph::RmatParams params;
+    params.scale = 8;
+    params.edge_factor = 6;
+    params.seed = 99;
+    v->push_back(graph::rmat(params));
+    v->push_back(graph::simplify(graph::erdos_renyi(150, 900, 3)));
+    v->push_back(graph::simplify(graph::complete_graph(15)));
+    v->push_back(graph::simplify(graph::wheel_graph(20)));
+    return v;
+  }();
+  return *graphs;
+}
+
+TEST_P(DistTrussSweep, SupportsMatchSerial) {
+  const auto [gi, p] = GetParam();
+  const EdgeList& g = truss_graphs()[static_cast<std::size_t>(gi)];
+  const auto expected = graph::edge_supports(g);
+  const auto actual = edge_supports_2d(g, p);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t e = 0; e < expected.size(); ++e) {
+    ASSERT_EQ(actual[e], expected[e]) << "edge " << e;
+  }
+}
+
+TEST_P(DistTrussSweep, DecompositionMatchesSerial) {
+  const auto [gi, p] = GetParam();
+  const EdgeList& g = truss_graphs()[static_cast<std::size_t>(gi)];
+  const graph::KtrussResult serial = graph::ktruss_decomposition(g);
+  const graph::KtrussResult dist = ktruss_2d(g, p);
+  EXPECT_EQ(dist.max_k, serial.max_k);
+  EXPECT_EQ(dist.trussness, serial.trussness);
+}
+
+INSTANTIATE_TEST_SUITE_P(GraphsByRanks, DistTrussSweep,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(1, 4, 9, 16)));
+
+TEST(DistTruss, EmptyAndTriangleFree) {
+  EdgeList empty;
+  empty.num_vertices = 6;
+  EXPECT_TRUE(edge_supports_2d(empty, 4).empty());
+  const EdgeList grid = graph::simplify(graph::grid_graph(4, 4));
+  for (const auto s : edge_supports_2d(grid, 4)) EXPECT_EQ(s, 0u);
+  EXPECT_EQ(ktruss_2d(grid, 4).max_k, 2);
+}
+
+TEST(DistTruss, NonSquareRanksThrow) {
+  EXPECT_THROW(edge_supports_2d(truss_graphs()[0], 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tricount::core

@@ -1,0 +1,134 @@
+// Graph file I/O round-trip and error-handling tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/io.hpp"
+#include "tricount/graph/serial_count.hpp"
+
+namespace tricount::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tricount_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  const EdgeList g = simplify(rmat([] {
+    RmatParams p;
+    p.scale = 7;
+    p.edge_factor = 4;
+    p.seed = 1;
+    return p;
+  }()));
+  write_edge_list(g, path("g.txt"));
+  const EdgeList r = read_edge_list(path("g.txt"));
+  EXPECT_EQ(r.num_vertices, g.num_vertices);
+  EXPECT_EQ(simplify(r).edges, g.edges);
+}
+
+TEST_F(IoTest, EdgeListCommentsAndHeader) {
+  {
+    std::ofstream out(path("c.txt"));
+    out << "# a comment\n#n 10\n% another comment\n0 3\n\n3 7\n";
+  }
+  const EdgeList g = read_edge_list(path("c.txt"));
+  EXPECT_EQ(g.num_vertices, 10u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.edges[0], (Edge{0, 3}));
+}
+
+TEST_F(IoTest, EdgeListWithoutHeaderInfersVertexCount) {
+  {
+    std::ofstream out(path("nh.txt"));
+    out << "0 5\n2 3\n";
+  }
+  EXPECT_EQ(read_edge_list(path("nh.txt")).num_vertices, 6u);
+}
+
+TEST_F(IoTest, EdgeListMalformedThrows) {
+  {
+    std::ofstream out(path("bad.txt"));
+    out << "0 not_a_number\n";
+  }
+  EXPECT_THROW(read_edge_list(path("bad.txt")), std::runtime_error);
+  EXPECT_THROW(read_edge_list(path("missing.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRoundTrip) {
+  const EdgeList g = simplify(watts_strogatz(50, 4, 0.3, 2));
+  write_matrix_market(g, path("g.mtx"));
+  const EdgeList r = simplify(read_matrix_market(path("g.mtx")));
+  EXPECT_EQ(r.edges, g.edges);
+  // Triangle counts survive the round trip.
+  EXPECT_EQ(count_triangles_serial(Csr::from_edges(r)),
+            count_triangles_serial(Csr::from_edges(g)));
+}
+
+TEST_F(IoTest, MatrixMarketRejectsMissingBanner) {
+  {
+    std::ofstream out(path("nob.mtx"));
+    out << "3 3 1\n1 2\n";
+  }
+  EXPECT_THROW(read_matrix_market(path("nob.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsZeroBasedIndices) {
+  {
+    std::ofstream out(path("zero.mtx"));
+    out << "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n0 1\n";
+  }
+  EXPECT_THROW(read_matrix_market(path("zero.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const EdgeList g = simplify(erdos_renyi(80, 300, 6));
+  write_binary(g, path("g.bin"));
+  const EdgeList r = read_binary(path("g.bin"));
+  EXPECT_EQ(r.num_vertices, g.num_vertices);
+  EXPECT_EQ(r.edges, g.edges);
+}
+
+TEST_F(IoTest, BinaryRejectsCorruptHeader) {
+  {
+    std::ofstream out(path("junk.bin"), std::ios::binary);
+    out << "definitely not a graph";
+  }
+  EXPECT_THROW(read_binary(path("junk.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncation) {
+  const EdgeList g = simplify(complete_graph(10));
+  write_binary(g, path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), 40);
+  EXPECT_THROW(read_binary(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTripsEverywhere) {
+  EdgeList g;
+  g.num_vertices = 4;
+  write_edge_list(g, path("e.txt"));
+  EXPECT_EQ(read_edge_list(path("e.txt")).num_vertices, 4u);
+  write_matrix_market(g, path("e.mtx"));
+  EXPECT_EQ(read_matrix_market(path("e.mtx")).edges.size(), 0u);
+  write_binary(g, path("e.bin"));
+  EXPECT_EQ(read_binary(path("e.bin")).num_vertices, 4u);
+}
+
+}  // namespace
+}  // namespace tricount::graph

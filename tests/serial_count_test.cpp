@@ -1,0 +1,117 @@
+// Tests for the serial reference counters: closed-form counts, agreement
+// across kernels (map/list/id-order), per-vertex counts, and the
+// clustering-coefficient helpers.
+#include <gtest/gtest.h>
+
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/serial_count.hpp"
+
+namespace tricount::graph {
+namespace {
+
+Csr csr_of(EdgeList g) { return Csr::from_edges(simplify(std::move(g))); }
+
+TEST(SerialCount, CompleteGraphsClosedForm) {
+  for (const VertexId n : {3u, 4u, 5u, 8u, 12u, 20u}) {
+    const Csr csr = csr_of(complete_graph(n));
+    EXPECT_EQ(count_triangles_serial(csr), complete_graph_triangles(n)) << n;
+  }
+}
+
+TEST(SerialCount, TriangleFreeFamilies) {
+  EXPECT_EQ(count_triangles_serial(csr_of(star_graph(30))), 0u);
+  EXPECT_EQ(count_triangles_serial(csr_of(cycle_graph(30))), 0u);
+  EXPECT_EQ(count_triangles_serial(csr_of(path_graph(30))), 0u);
+  EXPECT_EQ(count_triangles_serial(csr_of(grid_graph(5, 6))), 0u);
+  EXPECT_EQ(count_triangles_serial(csr_of(complete_bipartite(7, 8))), 0u);
+  EXPECT_EQ(count_triangles_serial(csr_of(petersen_graph())), 0u);
+}
+
+TEST(SerialCount, SmallKnownCounts) {
+  EXPECT_EQ(count_triangles_serial(csr_of(cycle_graph(3))), 1u);
+  EXPECT_EQ(count_triangles_serial(csr_of(wheel_graph(7))), 7u);
+  EXPECT_EQ(count_triangles_serial(csr_of(wheel_graph(3))),
+            complete_graph_triangles(4));  // wheel on 3 rim = K4
+}
+
+TEST(SerialCount, EmptyAndDegenerate) {
+  EdgeList empty;
+  empty.num_vertices = 0;
+  EXPECT_EQ(count_triangles_serial(Csr::from_edges(empty)), 0u);
+  EdgeList isolated;
+  isolated.num_vertices = 5;
+  EXPECT_EQ(count_triangles_serial(Csr::from_edges(isolated)), 0u);
+}
+
+class SerialKernelAgreement : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerialKernelAgreement, AllKernelsAgreeOnRandomGraphs) {
+  RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 7;
+  params.seed = GetParam();
+  const Csr csr = csr_of(rmat(params));
+  const TriangleCount map_count =
+      count_triangles_serial(csr, IntersectionKind::kMap);
+  const TriangleCount list_count =
+      count_triangles_serial(csr, IntersectionKind::kList);
+  const TriangleCount id_count = count_triangles_id_order(csr);
+  EXPECT_EQ(map_count, list_count);
+  EXPECT_EQ(map_count, id_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialKernelAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 10u, 99u));
+
+TEST(SerialCount, PerVertexSumsToThreeTimesTotal) {
+  const Csr csr = csr_of(erdos_renyi(200, 1500, 3));
+  const auto per_vertex = per_vertex_triangles(csr);
+  TriangleCount sum = 0;
+  for (const TriangleCount c : per_vertex) sum += c;
+  EXPECT_EQ(sum, 3 * count_triangles_serial(csr));
+}
+
+TEST(SerialCount, PerVertexOnWheel) {
+  // Hub of wheel(5) is in all 5 triangles; each rim vertex in 2.
+  const auto per_vertex = per_vertex_triangles(csr_of(wheel_graph(5)));
+  EXPECT_EQ(per_vertex[0], 5u);
+  for (std::size_t v = 1; v < per_vertex.size(); ++v) {
+    EXPECT_EQ(per_vertex[v], 2u);
+  }
+}
+
+TEST(SerialCount, WedgeCount) {
+  // Star(5): hub has C(5,2)=10 wedges, leaves none.
+  EXPECT_EQ(count_wedges(csr_of(star_graph(5))), 10u);
+  // Triangle: every vertex is one wedge center.
+  EXPECT_EQ(count_wedges(csr_of(cycle_graph(3))), 3u);
+}
+
+TEST(SerialCount, TransitivityBounds) {
+  // Complete graph: every wedge closes.
+  EXPECT_DOUBLE_EQ(transitivity(csr_of(complete_graph(8))), 1.0);
+  // Star: no wedge closes.
+  EXPECT_DOUBLE_EQ(transitivity(csr_of(star_graph(8))), 0.0);
+  // Empty graph: defined as zero.
+  EdgeList empty;
+  empty.num_vertices = 3;
+  EXPECT_DOUBLE_EQ(transitivity(Csr::from_edges(empty)), 0.0);
+}
+
+TEST(SerialCount, AverageLocalClustering) {
+  EXPECT_DOUBLE_EQ(average_local_clustering(csr_of(complete_graph(6))), 1.0);
+  EXPECT_DOUBLE_EQ(average_local_clustering(csr_of(star_graph(6))), 0.0);
+  const double ws = average_local_clustering(csr_of(watts_strogatz(100, 6, 0.0, 1)));
+  // Ring lattice with k=6 has local clustering 0.6 exactly.
+  EXPECT_NEAR(ws, 0.6, 1e-9);
+}
+
+TEST(SerialCount, LargeSparseRandomAgreesAcrossRepresentations) {
+  // Cross-check map kernel against the id-order kernel on a bigger graph.
+  const Csr csr = csr_of(erdos_renyi(2000, 12000, 77));
+  EXPECT_EQ(count_triangles_serial(csr), count_triangles_id_order(csr));
+}
+
+}  // namespace
+}  // namespace tricount::graph

@@ -1,0 +1,331 @@
+// tricount — command-line front end to the library.
+//
+// Subcommands:
+//   generate   create a graph file (rmat / er / ws / twitter / friendster)
+//   stats      structural statistics of a graph file
+//   count      distributed triangle counting (2d / summa / aop / push / wedge)
+//   pervertex  distributed per-vertex counts and clustering coefficients
+//   truss      k-truss decomposition summary
+//   convert    convert between edge-list / MatrixMarket / binary formats
+//
+// Examples:
+//   tricount_cli generate --type rmat --scale 14 --out g.mtx
+//   tricount_cli count --file g.mtx --ranks 16
+//   tricount_cli count --file g.mtx --algorithm summa --grid-rows 2 --grid-cols 8
+//   tricount_cli pervertex --file g.mtx --ranks 9 --top 5
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "tricount/baselines/aop1d.hpp"
+#include "tricount/baselines/push_based1d.hpp"
+#include "tricount/baselines/wedge_counting.hpp"
+#include "tricount/core/driver.hpp"
+#include "tricount/core/per_vertex.hpp"
+#include "tricount/core/summa2d.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/io.hpp"
+#include "tricount/graph/ktruss.hpp"
+#include "tricount/graph/serial_count.hpp"
+#include "tricount/graph/stats.hpp"
+#include "tricount/util/argparse.hpp"
+#include "tricount/util/table.hpp"
+
+namespace {
+
+using namespace tricount;
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+graph::EdgeList load(const std::string& path) {
+  if (has_suffix(path, ".mtx")) return graph::read_matrix_market(path);
+  if (has_suffix(path, ".bin")) return graph::read_binary(path);
+  return graph::read_edge_list(path);
+}
+
+void store(const graph::EdgeList& g, const std::string& path) {
+  if (has_suffix(path, ".mtx")) {
+    graph::write_matrix_market(g, path);
+  } else if (has_suffix(path, ".bin")) {
+    graph::write_binary(g, path);
+  } else {
+    graph::write_edge_list(g, path);
+  }
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli generate", "Generate a graph file.");
+  args.add_option("type", "rmat", "rmat | er | ws | twitter | friendster");
+  args.add_option("scale", "12", "log2 vertex count (rmat-family types)");
+  args.add_option("edge-factor", "16", "edges per vertex (rmat)");
+  args.add_option("n", "1024", "vertices (er / ws)");
+  args.add_option("edges", "8192", "edges (er)");
+  args.add_option("k", "6", "ring-lattice degree (ws, even)");
+  args.add_option("beta", "0.1", "rewiring probability (ws)");
+  args.add_option("seed", "1", "random seed");
+  args.add_option("out", "graph.mtx", "output path (.txt / .mtx / .bin)");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const std::string type = args.get("type");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  graph::EdgeList g;
+  if (type == "rmat" || type == "twitter" || type == "friendster") {
+    graph::RmatParams params;
+    const int scale = static_cast<int>(args.get_int("scale"));
+    if (type == "twitter") {
+      params = graph::twitter_like_params(scale, seed);
+    } else if (type == "friendster") {
+      params = graph::friendster_like_params(scale, seed);
+    } else {
+      params.scale = scale;
+      params.edge_factor = args.get_double("edge-factor");
+      params.seed = seed;
+    }
+    g = graph::rmat(params);
+  } else if (type == "er") {
+    g = graph::erdos_renyi(static_cast<graph::VertexId>(args.get_int("n")),
+                           static_cast<graph::EdgeIndex>(args.get_int("edges")),
+                           seed);
+  } else if (type == "ws") {
+    g = graph::watts_strogatz(static_cast<graph::VertexId>(args.get_int("n")),
+                              static_cast<int>(args.get_int("k")),
+                              args.get_double("beta"), seed);
+  } else {
+    std::fprintf(stderr, "unknown --type '%s'\n", type.c_str());
+    return 1;
+  }
+  store(g, args.get("out"));
+  std::printf("wrote %s: %u vertices, %zu edges\n", args.get("out").c_str(),
+              g.num_vertices, g.edges.size());
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli stats", "Graph statistics.");
+  args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
+  args.add_flag("truss", false, "also compute the k-truss decomposition");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const graph::EdgeList g = graph::simplify(load(args.get("file")));
+  const graph::Csr csr = graph::Csr::from_edges(g);
+  const auto triangles = graph::count_triangles_serial(csr);
+  util::Table table({"metric", "value"});
+  table.row().cell("vertices").cell(static_cast<std::uint64_t>(g.num_vertices));
+  table.row().cell("edges").cell(static_cast<std::uint64_t>(g.edges.size()));
+  table.row().cell("max degree").cell(static_cast<std::uint64_t>(csr.max_degree()));
+  const double avg_deg =
+      g.num_vertices == 0 ? 0.0
+                          : 2.0 * static_cast<double>(g.edges.size()) /
+                                static_cast<double>(g.num_vertices);
+  table.row().cell("avg degree").cell(avg_deg, 2);
+  table.row().cell("triangles").cell(static_cast<std::uint64_t>(triangles));
+  table.row().cell("wedges").cell(static_cast<std::uint64_t>(graph::count_wedges(csr)));
+  table.row().cell("transitivity").cell(graph::transitivity(csr), 6);
+  table.row().cell("avg local clustering").cell(graph::average_local_clustering(csr), 6);
+  const graph::DegreeStats deg = graph::degree_stats(csr);
+  table.row().cell("median degree").cell(deg.median_degree, 1);
+  table.row().cell("degree CoV (skew)").cell(deg.coefficient_of_variation, 3);
+  table.row().cell("isolated vertices").cell(static_cast<std::uint64_t>(deg.isolated_vertices));
+  table.row().cell("assortativity").cell(graph::degree_assortativity(csr), 4);
+  const graph::ComponentStats cc = graph::connected_components(csr);
+  table.row().cell("components").cell(static_cast<std::uint64_t>(cc.num_components));
+  table.row().cell("largest component").cell(static_cast<std::uint64_t>(cc.largest_component));
+  table.row().cell("2-core size").cell(static_cast<std::uint64_t>(graph::two_core_size(g)));
+  if (args.get_bool("truss")) {
+    const graph::KtrussResult truss = graph::ktruss_decomposition(g);
+    table.row().cell("max k-truss").cell(static_cast<std::int64_t>(truss.max_k));
+    table.row().cell("max-truss edges").cell(static_cast<std::uint64_t>(
+        truss.truss_edges(g, truss.max_k).size()));
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_count(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli count",
+                       "Distributed triangle counting.");
+  args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
+  args.add_option("ranks", "16", "simulated ranks (perfect square for 2d)");
+  args.add_option("algorithm", "2d", "2d | summa | aop | push | wedge");
+  args.add_option("grid-rows", "0", "summa grid rows (0 = auto)");
+  args.add_option("grid-cols", "0", "summa grid cols (0 = auto)");
+  args.add_option("enumeration", "jik", "jik | ijk");
+  args.add_option("intersection", "map", "map | list");
+  args.add_flag("doubly-sparse", true, "doubly sparse traversal (§5.2)");
+  args.add_flag("modified-hashing", true, "probe-free hashing (§5.2)");
+  args.add_flag("backward-exit", true, "backward early exit (§5.2)");
+  args.add_flag("blob", true, "blob communication (§5.2)");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const graph::EdgeList g = graph::simplify(load(args.get("file")));
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const std::string algorithm = args.get("algorithm");
+
+  core::Config config;
+  config.enumeration = args.get("enumeration") == "ijk"
+                           ? core::Enumeration::kIJK
+                           : core::Enumeration::kJIK;
+  config.intersection = args.get("intersection") == "list"
+                            ? core::Intersection::kList
+                            : core::Intersection::kMap;
+  config.doubly_sparse = args.get_bool("doubly-sparse");
+  config.modified_hashing = args.get_bool("modified-hashing");
+  config.backward_early_exit = args.get_bool("backward-exit");
+  config.blob_comm = args.get_bool("blob");
+
+  if (algorithm == "2d") {
+    core::RunOptions options;
+    options.config = config;
+    const auto result = core::count_triangles_2d(g, ranks, options);
+    std::printf("triangles: %llu\n",
+                static_cast<unsigned long long>(result.triangles));
+    std::printf("modeled ppt/tct/overall: %.4f / %.4f / %.4f s\n",
+                result.pre_modeled_seconds(), result.tc_modeled_seconds(),
+                result.total_modeled_seconds());
+  } else if (algorithm == "summa") {
+    core::SummaOptions options;
+    options.config = config;
+    int rows = static_cast<int>(args.get_int("grid-rows"));
+    int cols = static_cast<int>(args.get_int("grid-cols"));
+    if (rows <= 0 || cols <= 0) {
+      // Auto: most-square factorization of `ranks`.
+      rows = 1;
+      for (int r = 1; r * r <= ranks; ++r) {
+        if (ranks % r == 0) rows = r;
+      }
+      cols = ranks / rows;
+    }
+    options.grid_rows = rows;
+    options.grid_cols = cols;
+    const auto result = core::count_triangles_summa(g, options);
+    std::printf("triangles: %llu (grid %dx%d, %d panels)\n",
+                static_cast<unsigned long long>(result.triangles),
+                result.grid_rows, result.grid_cols, result.panels);
+    std::printf("modeled ppt/tct: %.4f / %.4f s\n", result.pre_modeled_seconds,
+                result.tc_modeled_seconds);
+  } else if (algorithm == "aop") {
+    const auto result = baselines::count_triangles_aop1d(g, ranks);
+    std::printf("triangles: %llu\n",
+                static_cast<unsigned long long>(result.triangles));
+  } else if (algorithm == "push") {
+    const auto result = baselines::count_triangles_push1d(g, ranks);
+    std::printf("triangles: %llu\n",
+                static_cast<unsigned long long>(result.triangles));
+  } else if (algorithm == "wedge") {
+    const auto result = baselines::count_triangles_wedge(g, ranks);
+    std::printf("triangles: %llu (wedges checked: %llu, peeled: %u)\n",
+                static_cast<unsigned long long>(result.triangles()),
+                static_cast<unsigned long long>(result.wedges_checked),
+                result.vertices_peeled);
+  } else {
+    std::fprintf(stderr, "unknown --algorithm '%s'\n", algorithm.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_pervertex(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli pervertex",
+                       "Distributed per-vertex triangle counts.");
+  args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
+  args.add_option("ranks", "16", "simulated ranks (perfect square)");
+  args.add_option("top", "10", "print the top-N triangle-dense vertices");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const graph::EdgeList g = graph::simplify(load(args.get("file")));
+  const graph::Csr csr = graph::Csr::from_edges(g);
+  const auto result = core::count_per_vertex_2d(
+      g, static_cast<int>(args.get_int("ranks")));
+  std::printf("triangles: %llu\n",
+              static_cast<unsigned long long>(result.total_triangles));
+
+  std::vector<graph::VertexId> order(result.counts.size());
+  for (graph::VertexId v = 0; v < order.size(); ++v) order[v] = v;
+  const auto top = std::min<std::size_t>(
+      static_cast<std::size_t>(args.get_int("top")), order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(top),
+                    order.end(), [&](graph::VertexId a, graph::VertexId b) {
+                      return result.counts[a] > result.counts[b];
+                    });
+  util::Table table({"vertex", "triangles", "degree", "local clustering"});
+  for (std::size_t i = 0; i < top; ++i) {
+    const graph::VertexId v = order[i];
+    table.row()
+        .cell(static_cast<std::uint64_t>(v))
+        .cell(static_cast<std::uint64_t>(result.counts[v]))
+        .cell(static_cast<std::uint64_t>(csr.degree(v)))
+        .cell(result.local_clustering(v, csr.degree(v)), 4);
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_truss(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli truss", "k-truss decomposition.");
+  args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const graph::EdgeList g = graph::simplify(load(args.get("file")));
+  const graph::KtrussResult result = graph::ktruss_decomposition(g);
+  std::printf("max k-truss: %d\n", result.max_k);
+  util::Table table({"k", "edges in k-truss"});
+  for (int k = 2; k <= result.max_k; ++k) {
+    table.row()
+        .cell(static_cast<std::int64_t>(k))
+        .cell(static_cast<std::uint64_t>(result.truss_edges(g, k).size()));
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_convert(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli convert",
+                       "Convert between graph formats (by extension).");
+  args.add_option("in", "", "input path");
+  args.add_option("out", "", "output path");
+  args.add_flag("simplify", true, "canonicalize to a simple graph");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  graph::EdgeList g = load(args.get("in"));
+  if (args.get_bool("simplify")) g = graph::simplify(std::move(g));
+  store(g, args.get("out"));
+  std::printf("wrote %s: %u vertices, %zu edges\n", args.get("out").c_str(),
+              g.num_vertices, g.edges.size());
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: tricount_cli <generate|stats|count|pervertex|truss|convert> "
+      "[options]\n"
+      "Run 'tricount_cli <subcommand> --help' for subcommand options.");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string subcommand = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (subcommand == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (subcommand == "stats") return cmd_stats(sub_argc, sub_argv);
+    if (subcommand == "count") return cmd_count(sub_argc, sub_argv);
+    if (subcommand == "pervertex") return cmd_pervertex(sub_argc, sub_argv);
+    if (subcommand == "truss") return cmd_truss(sub_argc, sub_argv);
+    if (subcommand == "convert") return cmd_convert(sub_argc, sub_argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tricount_cli: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 1;
+}
