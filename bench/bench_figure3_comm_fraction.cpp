@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   options.model = bench::model_from_args(args);
 
   util::Table table({"ranks", "ppt comm %", "tct comm %"});
+  bench::JsonReport report("figure3_comm_fraction");
   double first_tct = -1.0;
   double last_tct = 0.0;
   for (const int p : bench::ranks_from_args(args)) {
@@ -38,6 +39,9 @@ int main(int argc, char** argv) {
         100.0 * r.tc_modeled_comm_seconds() / r.tc_modeled_seconds();
     if (first_tct < 0) first_tct = tct_pct;
     last_tct = tct_pct;
+    obs::json::Value& record = report.add_record(dataset.name, r);
+    record.set("ppt_comm_pct", ppt_pct);
+    record.set("tct_comm_pct", tct_pct);
     table.row()
         .cell(static_cast<std::int64_t>(p))
         .cell(ppt_pct, 2)
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   bench::maybe_write_csv(table, args.get("csv"));
+  report.maybe_write(args.get("json"));
   std::printf("\nshape check: tct comm fraction grows from %.2f%% to %.2f%% "
               "across the sweep (%s)\n",
               first_tct, last_tct,

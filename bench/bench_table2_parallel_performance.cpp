@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps"));
   core::RunOptions options;
   options.model = bench::model_from_args(args);
+  bench::JsonReport report("table2_parallel_performance");
 
   for (const bench::Dataset& dataset :
        bench::paper_datasets(static_cast<int>(args.get_int("scale")))) {
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
       const double ppt = r.pre_modeled_seconds() * 1e3;
       const double tct = r.tc_modeled_seconds() * 1e3;
       const double all = ppt + tct;
+      report.add_record(dataset.name, r);
       if (base_ranks == 0) {
         base_ranks = p;
         base_ppt = ppt;
@@ -84,5 +86,6 @@ int main(int argc, char** argv) {
     std::printf("triangles: %llu (identical across all grids)\n",
                 static_cast<unsigned long long>(expected_triangles));
   }
+  report.maybe_write(args.get("json"));
   return 0;
 }

@@ -12,10 +12,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tricount/core/driver.hpp"
 #include "tricount/graph/generators.hpp"
+#include "tricount/obs/json.hpp"
 #include "tricount/util/argparse.hpp"
 #include "tricount/util/table.hpp"
 
@@ -88,6 +90,9 @@ inline void add_common_options(util::ArgParser& args, int default_scale,
                   "also write the table data as CSV to this path (multi-"
                   "dataset benches insert the dataset name before the "
                   "extension)");
+  args.add_option("json", "",
+                  "also write machine-readable run records as "
+                  "BENCH_<name>.json into this directory ('.' for cwd)");
 }
 
 /// Writes `table` to the --csv path if one was given. `tag` (e.g. the
@@ -161,6 +166,62 @@ inline core::RunResult median_run(const graph::Csr& csr, int ranks,
   }
   return merged;
 }
+
+/// Collects one JSON record per (dataset, rank count) configuration and
+/// writes them as BENCH_<name>.json — the machine-readable counterpart of
+/// the printed table, with a fixed schema so plots and regression checks
+/// can consume any bench's output uniformly.
+class JsonReport {
+ public:
+  /// `name` is the bench name without the BENCH_ prefix / .json suffix.
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Appends one run's record. Extra bench-specific values can be attached
+  /// to the returned object before the report is written.
+  obs::json::Value& add_record(const std::string& dataset,
+                               const core::RunResult& r) {
+    obs::json::Value record = obs::json::Value::object();
+    record.set("dataset", dataset);
+    record.set("ranks", r.ranks);
+    record.set("triangles", static_cast<std::uint64_t>(r.triangles));
+    record.set("vertices", static_cast<std::uint64_t>(r.num_vertices));
+    record.set("edges", static_cast<std::uint64_t>(r.num_edges));
+    record.set("pre_modeled_seconds", r.pre_modeled_seconds());
+    record.set("tc_modeled_seconds", r.tc_modeled_seconds());
+    record.set("total_modeled_seconds", r.total_modeled_seconds());
+    record.set("pre_modeled_comm_seconds", r.pre_modeled_comm_seconds());
+    record.set("tc_modeled_comm_seconds", r.tc_modeled_comm_seconds());
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    for (const mpisim::PerfCounters& c : r.per_rank_counters) {
+      messages += c.messages_sent;
+      bytes += c.bytes_sent;
+    }
+    record.set("messages_sent", messages);
+    record.set("bytes_sent", bytes);
+    records_.push_back(std::move(record));
+    return records_.back();
+  }
+
+  /// Writes BENCH_<name>.json into `directory` (no-op when empty — the
+  /// --json option was not given).
+  void maybe_write(const std::string& directory) const {
+    if (directory.empty()) return;
+    obs::json::Value root = obs::json::Value::object();
+    root.set("schema", "tricount.bench.v1");
+    root.set("bench", name_);
+    obs::json::Value list = obs::json::Value::array();
+    for (const obs::json::Value& record : records_) list.push_back(record);
+    root.set("records", std::move(list));
+    const std::string path = directory + "/BENCH_" + name_ + ".json";
+    obs::json::write_file(root, path);
+    std::printf("[json] wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<obs::json::Value> records_;
+};
 
 inline util::AlphaBetaModel model_from_args(const util::ArgParser& args) {
   const std::string spec = args.get("model");

@@ -1,0 +1,209 @@
+#include "tricount/core/artifacts.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace tricount::core {
+
+namespace {
+
+/// One superstep of the run: its name, phase tag, and per-rank samples.
+struct Superstep {
+  std::string name;
+  const char* phase;  // "pre" or "tc"
+  std::vector<PhaseSample> samples;
+};
+
+std::vector<Superstep> supersteps_of(const RunResult& result) {
+  std::vector<Superstep> steps;
+  for (std::size_t s = 0; s < result.step_names.size(); ++s) {
+    steps.push_back({result.step_names[s], "pre", result.step_samples(s)});
+  }
+  for (std::size_t s = 0; s < result.num_shifts(); ++s) {
+    steps.push_back(
+        {"shift " + std::to_string(s), "tc", result.shift_samples(s)});
+  }
+  return steps;
+}
+
+}  // namespace
+
+obs::Trace build_run_trace(const RunResult& result) {
+  obs::Trace trace;
+  trace.set_thread_name(0, "modeled");
+  for (int r = 0; r < result.ranks; ++r) {
+    trace.set_thread_name(r + 1, "rank " + std::to_string(r));
+  }
+
+  double t_seconds = 0.0;  // aligned superstep start, same on every rank
+  for (const Superstep& step : supersteps_of(result)) {
+    const PhaseBreakdown b = breakdown(step.samples);
+    const double step_seconds = b.modeled_seconds(result.model);
+    trace.add_complete(
+        0, step.name, step.phase, t_seconds * 1e6, step_seconds * 1e6,
+        {{"max_compute_seconds", b.max_compute_seconds},
+         {"avg_compute_seconds", b.avg_compute_seconds},
+         {"max_messages", static_cast<double>(b.max_messages)},
+         {"max_bytes", static_cast<double>(b.max_bytes)},
+         {"total_bytes", static_cast<double>(b.total_bytes)}});
+    for (std::size_t r = 0; r < step.samples.size(); ++r) {
+      const PhaseSample& sample = step.samples[r];
+      const int tid = static_cast<int>(r) + 1;
+      trace.add_complete(tid, step.name, "compute", t_seconds * 1e6,
+                         sample.compute_cpu_seconds * 1e6,
+                         {{"ops", static_cast<double>(sample.ops)}});
+      const double comm_seconds =
+          result.model.cost(sample.messages, sample.bytes) +
+          sample.comm_cpu_seconds;
+      if (comm_seconds > 0.0) {
+        trace.add_complete(
+            tid, step.name + " comm", "comm",
+            (t_seconds + sample.compute_cpu_seconds) * 1e6, comm_seconds * 1e6,
+            {{"messages", static_cast<double>(sample.messages)},
+             {"bytes", static_cast<double>(sample.bytes)}});
+      }
+    }
+    t_seconds += step_seconds;
+  }
+  return trace;
+}
+
+obs::Snapshot build_run_snapshot(const RunResult& result) {
+  obs::Registry registry;
+
+  const KernelCounters kernel = result.total_kernel();
+  registry.counter("kernel.intersection_tasks").set(kernel.intersection_tasks);
+  registry.counter("kernel.lookups").set(kernel.lookups);
+  registry.counter("kernel.hits").set(kernel.hits);
+  registry.counter("kernel.probes").set(kernel.probes);
+  registry.counter("kernel.hash_builds").set(kernel.hash_builds);
+  registry.counter("kernel.direct_builds").set(kernel.direct_builds);
+  registry.counter("kernel.rows_visited").set(kernel.rows_visited);
+  registry.counter("kernel.early_exits").set(kernel.early_exits);
+
+  registry.gauge("phase.pre.modeled_seconds").set(result.pre_modeled_seconds());
+  registry.gauge("phase.pre.modeled_comm_seconds")
+      .set(result.pre_modeled_comm_seconds());
+  registry.gauge("phase.tc.modeled_seconds").set(result.tc_modeled_seconds());
+  registry.gauge("phase.tc.modeled_comm_seconds")
+      .set(result.tc_modeled_comm_seconds());
+  registry.gauge("phase.total.modeled_seconds")
+      .set(result.total_modeled_seconds());
+  registry.counter("phase.pre.ops").set(result.pre_ops());
+  registry.counter("phase.tc.ops").set(result.tc_ops());
+
+  mpisim::PerfCounters traffic;
+  for (const mpisim::PerfCounters& c : result.per_rank_counters) traffic += c;
+  registry.counter("comm.messages_sent").set(traffic.messages_sent);
+  registry.counter("comm.bytes_sent").set(traffic.bytes_sent);
+  registry.counter("comm.collective_messages_sent")
+      .set(traffic.collective_messages_sent);
+  registry.counter("comm.collective_bytes_sent")
+      .set(traffic.collective_bytes_sent);
+  registry.counter("comm.user_messages_sent").set(traffic.user_messages_sent());
+  registry.counter("comm.user_bytes_sent").set(traffic.user_bytes_sent());
+  registry.gauge("comm.cpu_seconds").set(traffic.comm_cpu_seconds);
+
+  // Distribution of per-(rank, shift) compute times — the load-imbalance
+  // signal of Table 3, as a histogram instead of a table.
+  obs::Histogram& shift_compute =
+      registry.histogram("tc.shift_compute_seconds", /*scale=*/1e-6);
+  for (const RankStats& stats : result.per_rank) {
+    for (const PhaseSample& s : stats.shifts) {
+      shift_compute.observe(s.compute_cpu_seconds);
+    }
+  }
+
+  return registry.snapshot();
+}
+
+obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix) {
+  using obs::json::Value;
+  Value out = Value::object();
+  out.set("size", matrix.size());
+  const char* fields[] = {"user_messages", "user_bytes", "collective_messages",
+                          "collective_bytes"};
+  for (const char* field : fields) {
+    Value rows = Value::array();
+    for (int s = 0; s < matrix.size(); ++s) {
+      Value row = Value::array();
+      for (int d = 0; d < matrix.size(); ++d) {
+        const mpisim::CommCell& cell = matrix.at(s, d);
+        const std::string name(field);
+        if (name == "user_messages") row.push_back(cell.user_messages);
+        else if (name == "user_bytes") row.push_back(cell.user_bytes);
+        else if (name == "collective_messages") row.push_back(cell.collective_messages);
+        else row.push_back(cell.collective_bytes);
+      }
+      rows.push_back(std::move(row));
+    }
+    out.set(field, std::move(rows));
+  }
+  return out;
+}
+
+obs::json::Value build_run_metrics(const RunResult& result) {
+  using obs::json::Value;
+  Value root = Value::object();
+  root.set("schema", "tricount.metrics.v1");
+
+  Value run = Value::object();
+  run.set("ranks", result.ranks);
+  run.set("grid_q", result.grid_q);
+  run.set("vertices", static_cast<std::uint64_t>(result.num_vertices));
+  run.set("edges", static_cast<std::uint64_t>(result.num_edges));
+  run.set("triangles", static_cast<std::uint64_t>(result.triangles));
+  Value model = Value::object();
+  model.set("alpha_seconds", result.model.alpha_seconds);
+  model.set("beta_seconds_per_byte", result.model.beta_seconds_per_byte);
+  run.set("model", std::move(model));
+  root.set("run", std::move(run));
+
+  root.set("metrics", build_run_snapshot(result).to_json());
+
+  Value steps = Value::array();
+  for (const Superstep& step : supersteps_of(result)) {
+    const PhaseBreakdown b = breakdown(step.samples);
+    Value entry = Value::object();
+    entry.set("phase", step.phase);
+    entry.set("name", step.name);
+    entry.set("modeled_seconds", b.modeled_seconds(result.model));
+    entry.set("modeled_comm_seconds", b.modeled_comm_seconds(result.model));
+    entry.set("max_compute_seconds", b.max_compute_seconds);
+    entry.set("avg_compute_seconds", b.avg_compute_seconds);
+    entry.set("max_messages", b.max_messages);
+    entry.set("max_bytes", b.max_bytes);
+    entry.set("total_bytes", b.total_bytes);
+    steps.push_back(std::move(entry));
+  }
+  root.set("steps", std::move(steps));
+
+  root.set("comm_matrix", comm_matrix_to_json(result.comm_matrix));
+
+  Value per_rank = Value::array();
+  for (std::size_t r = 0; r < result.per_rank_counters.size(); ++r) {
+    const mpisim::PerfCounters& c = result.per_rank_counters[r];
+    Value entry = Value::object();
+    entry.set("rank", static_cast<std::uint64_t>(r));
+    entry.set("messages_sent", c.messages_sent);
+    entry.set("bytes_sent", c.bytes_sent);
+    entry.set("messages_received", c.messages_received);
+    entry.set("bytes_received", c.bytes_received);
+    entry.set("collective_messages_sent", c.collective_messages_sent);
+    entry.set("collective_bytes_sent", c.collective_bytes_sent);
+    entry.set("comm_cpu_seconds", c.comm_cpu_seconds);
+    per_rank.push_back(std::move(entry));
+  }
+  root.set("per_rank", std::move(per_rank));
+  return root;
+}
+
+void write_run_trace(const RunResult& result, const std::string& path) {
+  build_run_trace(result).write_file(path);
+}
+
+void write_run_metrics(const RunResult& result, const std::string& path) {
+  obs::json::write_file(build_run_metrics(result), path);
+}
+
+}  // namespace tricount::core

@@ -1,0 +1,45 @@
+// Machine-readable run artifacts: the modeled per-rank trace and the
+// metrics snapshot for a completed 2D counting run.
+//
+// The trace is a virtual timeline rebuilt from the per-(rank, superstep)
+// samples the pipeline records: superstep boundaries are aligned across
+// ranks (the algorithm is bulk-synchronous per shift) and each superstep
+// is stretched to its PhaseBreakdown::modeled_seconds, so the "modeled"
+// summary timeline's per-phase span sums equal pre/tc_modeled_seconds
+// exactly. Each rank's row shows its own measured compute time and its
+// own α–β-modeled communication inside the superstep window — the
+// per-shift load imbalance of Table 3, readable in Perfetto.
+//
+// The metrics artifact routes every measured quantity (KernelCounters,
+// phase times, traffic totals) through an obs::Registry snapshot and
+// attaches the p×p communication matrix. Schema: docs/observability.md.
+#pragma once
+
+#include <string>
+
+#include "tricount/core/driver.hpp"
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/metrics.hpp"
+#include "tricount/obs/trace.hpp"
+
+namespace tricount::core {
+
+/// Chrome trace-event timeline of the run: tid 0 is the modeled
+/// cross-rank summary, tid r+1 is rank r.
+obs::Trace build_run_trace(const RunResult& result);
+
+/// Registry snapshot of every run measurement (kernel.*, phase.*,
+/// comm.*) — see docs/observability.md for the naming convention.
+obs::Snapshot build_run_snapshot(const RunResult& result);
+
+/// Full metrics artifact: run metadata + registry snapshot + per-step
+/// breakdowns + the p×p comm matrix + per-rank traffic counters.
+obs::json::Value build_run_metrics(const RunResult& result);
+
+/// The comm matrix as JSON (also embedded in build_run_metrics).
+obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix);
+
+void write_run_trace(const RunResult& result, const std::string& path);
+void write_run_metrics(const RunResult& result, const std::string& path);
+
+}  // namespace tricount::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tricount/mpisim/collectives.hpp"
+#include "tricount/obs/trace.hpp"
 
 namespace tricount::core {
 
@@ -155,12 +156,16 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
   PhaseTracker tracker(comm);
   std::uint64_t lookups_before = 0;
   for (int s = 0; s < q; ++s) {
-    out.local_triangles += intersect_blocks(blocks.tasks, blocks.ublock,
-                                            blocks.lblock, config, scratch,
-                                            out.kernel);
+    {
+      obs::ScopedSpan span("intersect", "tc");
+      out.local_triangles += intersect_blocks(blocks.tasks, blocks.ublock,
+                                              blocks.lblock, config, scratch,
+                                              out.kernel);
+    }
     if (s + 1 < q) {
       // U one column left, L one row up (paper §5.1). Buffered sendrecv
       // keeps the ring deadlock-free.
+      obs::ScopedSpan span("shift", "tc");
       blocks.ublock =
           shift_block(comm, std::move(blocks.ublock), grid.left(),
                       grid.right(), kTagUBlock, kTagUArrays, config.blob_comm);

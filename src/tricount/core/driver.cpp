@@ -24,7 +24,7 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
   result.model = options.model;
   result.per_rank.assign(static_cast<std::size_t>(ranks), RankStats{});
 
-  mpisim::run_world(ranks, [&](mpisim::Comm& comm) {
+  mpisim::WorldReport report = mpisim::run_world_report(ranks, [&](mpisim::Comm& comm) {
     mpisim::Cart2D grid(comm);
     const LocalSlice input = make_slice(comm);
 
@@ -47,6 +47,9 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
       result.num_edges = pre.num_edges;
     }
   });
+
+  result.per_rank_counters = std::move(report.counters);
+  result.comm_matrix = std::move(report.comm_matrix);
 
   for (const auto& [name, sample] : result.per_rank[0].pre_steps) {
     result.step_names.push_back(name);

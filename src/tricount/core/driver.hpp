@@ -39,6 +39,10 @@ struct RunResult {
   /// Preprocessing superstep names, in pipeline order (same on all ranks).
   std::vector<std::string> step_names;
   std::vector<RankStats> per_rank;
+  /// Whole-run traffic counters per rank (totals + collective split).
+  std::vector<mpisim::PerfCounters> per_rank_counters;
+  /// The p×p (source, dest) traffic matrix recorded by mpisim.
+  mpisim::CommMatrix comm_matrix;
 
   // --- derived metrics (see instrumentation.hpp for the model) ----------
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tricount/mpisim/collectives.hpp"
+#include "tricount/obs/trace.hpp"
 #include "tricount/util/prefix.hpp"
 
 namespace tricount::core {
@@ -190,16 +191,21 @@ PreprocessOutput preprocess(mpisim::Cart2D& grid, const LocalSlice& input,
   out.num_vertices = input.num_vertices;
   PhaseTracker tracker(comm);
 
-  CyclicSlice cyclic = cyclic_redistribute(comm, input);
+  CyclicSlice cyclic = [&] {
+    obs::ScopedSpan span("redistribute", "pre");
+    return cyclic_redistribute(comm, input);
+  }();
   {
     PhaseSample s = tracker.cut();
     for (const auto& list : cyclic.adj) s.ops += list.size();
     out.steps.emplace_back("redistribute", s);
   }
 
-  RelabeledSlice relabeled = config.degree_ordering
-                                 ? degree_relabel(comm, cyclic)
-                                 : identity_relabel(comm, cyclic);
+  RelabeledSlice relabeled = [&] {
+    obs::ScopedSpan span("degree_order", "pre");
+    return config.degree_ordering ? degree_relabel(comm, cyclic)
+                                  : identity_relabel(comm, cyclic);
+  }();
   {
     PhaseSample s = tracker.cut();
     for (const auto& list : relabeled.adj) s.ops += list.size();
@@ -207,7 +213,10 @@ PreprocessOutput preprocess(mpisim::Cart2D& grid, const LocalSlice& input,
     out.steps.emplace_back("degree_order", s);
   }
 
-  out.blocks = scatter_2d(grid, relabeled, config.enumeration);
+  {
+    obs::ScopedSpan span("scatter_2d", "pre");
+    out.blocks = scatter_2d(grid, relabeled, config.enumeration);
+  }
   {
     PhaseSample s = tracker.cut();
     s.ops += 2 * (out.blocks.ublock.num_entries() +
@@ -216,8 +225,11 @@ PreprocessOutput preprocess(mpisim::Cart2D& grid, const LocalSlice& input,
     out.steps.emplace_back("scatter_2d", s);
   }
 
-  out.num_edges =
-      mpisim::allreduce_sum(comm, out.blocks.ublock.num_entries());
+  {
+    obs::ScopedSpan span("edge_count", "pre");
+    out.num_edges =
+        mpisim::allreduce_sum(comm, out.blocks.ublock.num_entries());
+  }
   {
     PhaseSample s = tracker.cut();
     out.steps.emplace_back("edge_count", s);

@@ -3,6 +3,7 @@
 namespace tricount::mpisim {
 
 void barrier(Comm& comm) {
+  obs::ScopedSpan obs_span("barrier", "collective");
   // Dissemination barrier: in round k each rank signals rank+2^k and waits
   // for rank-2^k (mod p). After ceil(log2 p) rounds every rank transitively
   // depends on every other, so none can exit before all have entered.

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tricount/mpisim/comm.hpp"
+#include "tricount/obs/trace.hpp"
 
 namespace tricount::mpisim {
 
@@ -34,6 +35,7 @@ void barrier(Comm& comm);
 /// non-root ranks `data` is replaced; its incoming size need not match.
 template <typename T>
 void bcast(Comm& comm, std::vector<T>& data, int root = 0) {
+  obs::ScopedSpan obs_span("bcast", "collective");
   const int p = comm.size();
   const int tag = comm.next_collective_tag();
   if (p == 1) return;
@@ -68,6 +70,7 @@ T bcast_value(Comm& comm, T value, int root = 0) {
 /// (binomial tree). All ranks must pass the same length.
 template <typename T, typename Op>
 void reduce(Comm& comm, std::vector<T>& data, Op op, int root = 0) {
+  obs::ScopedSpan obs_span("reduce", "collective");
   const int p = comm.size();
   const int tag = comm.next_collective_tag();
   if (p == 1) return;
@@ -125,6 +128,7 @@ T allreduce_max(Comm& comm, T value) {
 template <typename T>
 std::vector<std::vector<T>> gatherv(Comm& comm, const std::vector<T>& local,
                                     int root = 0) {
+  obs::ScopedSpan obs_span("gatherv", "collective");
   const int p = comm.size();
   const int tag = comm.next_collective_tag();
   std::vector<std::vector<T>> out;
@@ -156,6 +160,7 @@ std::vector<T> gather_value(Comm& comm, T value, int root = 0) {
 template <typename T>
 std::vector<std::vector<T>> allgatherv(Comm& comm,
                                        const std::vector<T>& local) {
+  obs::ScopedSpan obs_span("allgatherv", "collective");
   const int p = comm.size();
   auto per_rank = gatherv(comm, local, /*root=*/0);
   // Broadcast as (counts, flat payload).
@@ -195,6 +200,7 @@ std::vector<T> allgather_value(Comm& comm, T value) {
 template <typename T>
 std::vector<std::vector<T>> alltoallv(
     Comm& comm, const std::vector<std::vector<T>>& outgoing) {
+  obs::ScopedSpan obs_span("alltoallv", "collective");
   const int p = comm.size();
   if (outgoing.size() != static_cast<std::size_t>(p)) {
     throw std::invalid_argument("mpisim: alltoallv needs one bucket per rank");
@@ -221,6 +227,7 @@ std::vector<std::vector<T>> alltoallv(
 template <typename T>
 void bcast_group(Comm& comm, std::vector<T>& data,
                  std::span<const int> members, int root_index = 0) {
+  obs::ScopedSpan obs_span("bcast_group", "collective");
   const int g = static_cast<int>(members.size());
   const int tag = comm.next_collective_tag();
   if (g <= 1) return;
@@ -259,6 +266,7 @@ template <typename T>
 std::vector<T> scatterv(Comm& comm,
                         const std::vector<std::vector<T>>& buckets,
                         int root = 0) {
+  obs::ScopedSpan obs_span("scatterv", "collective");
   const int p = comm.size();
   const int tag = comm.next_collective_tag();
   if (comm.rank() == root) {
@@ -304,6 +312,7 @@ std::vector<T> reduce_scatter_block(Comm& comm, std::vector<T> data, Op op) {
 template <typename T, typename Op>
 std::vector<T> scan_and_exscan(Comm& comm, std::vector<T>& data, Op op,
                                T identity) {
+  obs::ScopedSpan obs_span("scan", "collective");
   const int p = comm.size();
   const int rank = comm.rank();
   std::vector<T> exclusive(data.size(), identity);

@@ -12,6 +12,10 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
   bytes_sent += other.bytes_sent;
   messages_received += other.messages_received;
   bytes_received += other.bytes_received;
+  collective_messages_sent += other.collective_messages_sent;
+  collective_bytes_sent += other.collective_bytes_sent;
+  collective_messages_received += other.collective_messages_received;
+  collective_bytes_received += other.collective_bytes_received;
   comm_cpu_seconds += other.comm_cpu_seconds;
   return *this;
 }
@@ -22,8 +26,35 @@ PerfCounters PerfCounters::operator-(const PerfCounters& other) const {
   d.bytes_sent = bytes_sent - other.bytes_sent;
   d.messages_received = messages_received - other.messages_received;
   d.bytes_received = bytes_received - other.bytes_received;
+  d.collective_messages_sent =
+      collective_messages_sent - other.collective_messages_sent;
+  d.collective_bytes_sent = collective_bytes_sent - other.collective_bytes_sent;
+  d.collective_messages_received =
+      collective_messages_received - other.collective_messages_received;
+  d.collective_bytes_received =
+      collective_bytes_received - other.collective_bytes_received;
   d.comm_cpu_seconds = comm_cpu_seconds - other.comm_cpu_seconds;
   return d;
+}
+
+CommCell& CommCell::operator+=(const CommCell& other) {
+  user_messages += other.user_messages;
+  user_bytes += other.user_bytes;
+  collective_messages += other.collective_messages;
+  collective_bytes += other.collective_bytes;
+  return *this;
+}
+
+CommCell CommMatrix::row_total(int source) const {
+  CommCell total;
+  for (int d = 0; d < size_; ++d) total += at(source, d);
+  return total;
+}
+
+CommCell CommMatrix::col_total(int dest) const {
+  CommCell total;
+  for (int s = 0; s < size_; ++s) total += at(s, dest);
+  return total;
 }
 
 Comm::Comm(World& world, int rank) : world_(world), rank_(rank) {}
@@ -55,6 +86,16 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   PerfCounters& c = counters();
   c.messages_sent += 1;
   c.bytes_sent += payload.size();
+  CommCell& cell = world_.comm_matrix().at(rank_, dest);
+  if (is_collective_tag(tag)) {
+    c.collective_messages_sent += 1;
+    c.collective_bytes_sent += payload.size();
+    cell.collective_messages += 1;
+    cell.collective_bytes += payload.size();
+  } else {
+    cell.user_messages += 1;
+    cell.user_bytes += payload.size();
+  }
   c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
 }
 
@@ -64,6 +105,10 @@ Message Comm::recv_message(int source, int tag) {
   PerfCounters& c = counters();
   c.messages_received += 1;
   c.bytes_received += m.payload.size();
+  if (is_collective_tag(m.tag)) {
+    c.collective_messages_received += 1;
+    c.collective_bytes_received += m.payload.size();
+  }
   c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
   return m;
 }

@@ -1,4 +1,5 @@
-// Message and per-rank performance counters for the mpisim runtime.
+// Message, per-rank performance counters, and the (source, dest)
+// communication matrix for the mpisim runtime.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +16,10 @@ constexpr int kAnyTag = -1;
 /// implementations; user point-to-point traffic must stay below it.
 constexpr int kReservedTagBase = 1 << 28;
 
+/// True for tags in the reserved collective tag space. Traffic counters
+/// use this to attribute bytes to collective-internal vs user messages.
+constexpr bool is_collective_tag(int tag) { return tag >= kReservedTagBase; }
+
 /// An in-flight message: envelope plus owned payload bytes. Payloads are
 /// always copied between ranks — ranks never share graph memory, which is
 /// what makes this a faithful distributed-memory model.
@@ -27,19 +32,84 @@ struct Message {
 /// Per-rank traffic counters, maintained by every Comm operation. The
 /// bench harness converts these to modeled communication time via the
 /// α–β cost model (util::AlphaBetaModel).
+///
+/// messages/bytes_sent/received are totals; the collective_* fields count
+/// the subset carried on reserved collective tags, so user traffic is
+/// (total - collective). The comm-fraction analyses use the split to
+/// attribute bytes to the algorithm vs the collective implementations.
 struct PerfCounters {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t collective_messages_sent = 0;
+  std::uint64_t collective_bytes_sent = 0;
+  std::uint64_t collective_messages_received = 0;
+  std::uint64_t collective_bytes_received = 0;
   /// CPU seconds this rank spent inside communication calls (packing,
   /// copying, matching). Wait time blocked on a condition variable does
   /// not consume CPU and is deliberately excluded: on an oversubscribed
   /// host, wait time measures the scheduler, not the algorithm.
   double comm_cpu_seconds = 0.0;
 
+  std::uint64_t user_messages_sent() const {
+    return messages_sent - collective_messages_sent;
+  }
+  std::uint64_t user_bytes_sent() const {
+    return bytes_sent - collective_bytes_sent;
+  }
+
   PerfCounters& operator+=(const PerfCounters& other);
   PerfCounters operator-(const PerfCounters& other) const;
+};
+
+/// One cell of the p×p communication matrix: traffic from one source rank
+/// to one destination rank, split by tag class.
+struct CommCell {
+  std::uint64_t user_messages = 0;
+  std::uint64_t user_bytes = 0;
+  std::uint64_t collective_messages = 0;
+  std::uint64_t collective_bytes = 0;
+
+  std::uint64_t messages() const { return user_messages + collective_messages; }
+  std::uint64_t bytes() const { return user_bytes + collective_bytes; }
+
+  CommCell& operator+=(const CommCell& other);
+};
+
+/// Dense p×p matrix of CommCells, recorded at send time inside Comm.
+/// Row r is written only by rank r's thread (each rank records its own
+/// sends), so recording needs no synchronization; read it after the world
+/// has joined.
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  explicit CommMatrix(int size)
+      : size_(size),
+        cells_(static_cast<std::size_t>(size) * static_cast<std::size_t>(size)) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  CommCell& at(int source, int dest) {
+    return cells_[static_cast<std::size_t>(source) *
+                      static_cast<std::size_t>(size_) +
+                  static_cast<std::size_t>(dest)];
+  }
+  const CommCell& at(int source, int dest) const {
+    return cells_[static_cast<std::size_t>(source) *
+                      static_cast<std::size_t>(size_) +
+                  static_cast<std::size_t>(dest)];
+  }
+
+  /// Everything rank `source` sent (row sum).
+  CommCell row_total(int source) const;
+  /// Everything delivered to rank `dest` (column sum).
+  CommCell col_total(int dest) const;
+
+ private:
+  int size_ = 0;
+  std::vector<CommCell> cells_;
 };
 
 }  // namespace tricount::mpisim

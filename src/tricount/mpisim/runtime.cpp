@@ -1,9 +1,12 @@
 #include "tricount/mpisim/runtime.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "tricount/util/log.hpp"
 
 namespace tricount::mpisim {
 
@@ -73,7 +76,10 @@ std::size_t Mailbox::queued() const {
 // ---------------------------------------------------------------------------
 // World & run_world
 
-World::World(int size) : size_(size), counters_(static_cast<size_t>(size)) {
+World::World(int size)
+    : size_(size),
+      counters_(static_cast<size_t>(size)),
+      comm_matrix_(std::max(size, 0)) {
   if (size <= 0) throw std::invalid_argument("mpisim: world size must be > 0");
   mailboxes_.reserve(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
@@ -85,12 +91,17 @@ void World::fail_all() {
   for (auto& mb : mailboxes_) mb->fail();
 }
 
-std::vector<PerfCounters> run_world(int size, const RankFn& fn) {
+WorldReport run_world_report(int size, const RankFn& fn) {
   World world(size);
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
   auto rank_main = [&](int rank) {
+    // Tag the thread so log lines and trace events carry the rank. The
+    // single-rank inline path reuses the caller's thread, so the previous
+    // tag is restored on exit.
+    const int previous_rank = util::current_rank();
+    util::set_current_rank(rank);
     Comm comm(world, rank);
     try {
       fn(comm);
@@ -101,6 +112,7 @@ std::vector<PerfCounters> run_world(int size, const RankFn& fn) {
       }
       world.fail_all();
     }
+    util::set_current_rank(previous_rank);
   };
 
   if (size == 1) {
@@ -116,7 +128,11 @@ std::vector<PerfCounters> run_world(int size, const RankFn& fn) {
   }
 
   if (first_error) std::rethrow_exception(first_error);
-  return world.all_counters();
+  return WorldReport{world.all_counters(), std::move(world.comm_matrix())};
+}
+
+std::vector<PerfCounters> run_world(int size, const RankFn& fn) {
+  return run_world_report(size, fn).counters;
 }
 
 }  // namespace tricount::mpisim

@@ -25,6 +25,10 @@ class World {
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<size_t>(rank)); }
   PerfCounters& counters(int rank) { return counters_.at(static_cast<size_t>(rank)); }
   const std::vector<PerfCounters>& all_counters() const { return counters_; }
+  /// The p×p (source, dest) traffic matrix. Rank r's thread writes only
+  /// row r, so sends record without locks; read after ranks have joined.
+  CommMatrix& comm_matrix() { return comm_matrix_; }
+  const CommMatrix& comm_matrix() const { return comm_matrix_; }
 
   /// Wakes every blocked receiver with a failure. Called when a rank
   /// throws.
@@ -34,12 +38,25 @@ class World {
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<PerfCounters> counters_;
+  CommMatrix comm_matrix_;
 };
 
 using RankFn = std::function<void(Comm&)>;
 
+/// Everything a world measured: per-rank traffic counters plus the
+/// (source, dest) communication matrix.
+struct WorldReport {
+  std::vector<PerfCounters> counters;
+  CommMatrix comm_matrix;
+};
+
 /// Runs `fn` on `size` ranks and returns the per-rank traffic counters.
-/// Rethrows the first rank exception, if any.
+/// Rethrows the first rank exception, if any. Each rank thread is tagged
+/// with its rank via util::set_current_rank, so log lines and trace
+/// events are attributed to the right rank.
 std::vector<PerfCounters> run_world(int size, const RankFn& fn);
+
+/// Like run_world, but also returns the communication matrix.
+WorldReport run_world_report(int size, const RankFn& fn);
 
 }  // namespace tricount::mpisim

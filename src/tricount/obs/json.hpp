@@ -1,0 +1,85 @@
+// Minimal JSON value: enough to write and read back the observability
+// artifacts (traces, metrics snapshots, bench records) without an external
+// dependency. Numbers are IEEE doubles, which covers every counter this
+// project emits (all < 2^53); objects preserve insertion order so emitted
+// files diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tricount::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double n) : type_(Type::kNumber), number_(n) {}
+  Value(int n) : type_(Type::kNumber), number_(n) {}
+  Value(std::int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(std::uint64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Value array();
+  static Value object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+
+  // --- array ------------------------------------------------------------
+  void push_back(Value v);
+  std::size_t size() const;  ///< array elements or object members
+  const Value& at(std::size_t index) const;
+
+  // --- object -----------------------------------------------------------
+  /// Inserts or overwrites a member (insertion order preserved).
+  Value& set(const std::string& key, Value v);
+  /// Member lookup; nullptr if absent (or not an object).
+  const Value* find(const std::string& key) const;
+  /// Member lookup; throws if absent.
+  const Value& get(const std::string& key) const;
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serializes. indent < 0 is compact; otherwise pretty-printed with
+  /// `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with the
+  /// byte offset on malformed input.
+  static Value parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Writes `value` to `path` (pretty-printed); throws on I/O error.
+void write_file(const Value& value, const std::string& path);
+
+/// Reads and parses a JSON file; throws on I/O or parse error.
+Value read_file(const std::string& path);
+
+}  // namespace tricount::obs::json

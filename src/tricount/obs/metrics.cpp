@@ -1,0 +1,176 @@
+#include "tricount/obs/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tricount::obs {
+
+void Histogram::observe(double value) {
+  std::scoped_lock lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double scaled = value / scale_;
+  std::size_t bucket = 0;
+  if (scaled > 1.0) {
+    bucket = static_cast<std::size_t>(std::ceil(std::log2(scaled)));
+  }
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+}
+
+std::uint64_t Histogram::count() const {
+  std::scoped_lock lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::scoped_lock lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::scoped_lock lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::scoped_lock lock(mutex_);
+  return max_;
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::scoped_lock lock(mutex_);
+  return buckets_;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Entry& Registry::entry(const std::string& name, Kind kind,
+                                 double scale) {
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("metrics: '" + name +
+                             "' already registered as a different kind");
+    }
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(scale); break;
+  }
+  return entries_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *entry(name, Kind::kCounter, 1.0).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *entry(name, Kind::kGauge, 1.0).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, double scale) {
+  return *entry(name, Kind::kHistogram, scale).histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  Snapshot out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.counters[name] = e.counter->value();
+        break;
+      case Kind::kGauge:
+        out.gauges[name] = e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        Snapshot::HistogramValue h;
+        h.count = e.histogram->count();
+        h.sum = e.histogram->sum();
+        h.min = e.histogram->min();
+        h.max = e.histogram->max();
+        h.scale = e.histogram->scale();
+        h.buckets = e.histogram->buckets();
+        out.histograms[name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot <-> JSON
+
+json::Value Snapshot::to_json() const {
+  json::Value root = json::Value::object();
+  json::Value counters_json = json::Value::object();
+  for (const auto& [name, value] : counters) counters_json.set(name, value);
+  root.set("counters", std::move(counters_json));
+
+  json::Value gauges_json = json::Value::object();
+  for (const auto& [name, value] : gauges) gauges_json.set(name, value);
+  root.set("gauges", std::move(gauges_json));
+
+  json::Value histograms_json = json::Value::object();
+  for (const auto& [name, h] : histograms) {
+    json::Value entry = json::Value::object();
+    entry.set("count", h.count);
+    entry.set("sum", h.sum);
+    entry.set("min", h.min);
+    entry.set("max", h.max);
+    entry.set("scale", h.scale);
+    json::Value buckets = json::Value::array();
+    for (const std::uint64_t b : h.buckets) buckets.push_back(b);
+    entry.set("buckets", std::move(buckets));
+    histograms_json.set(name, std::move(entry));
+  }
+  root.set("histograms", std::move(histograms_json));
+  return root;
+}
+
+Snapshot Snapshot::from_json(const json::Value& root) {
+  Snapshot out;
+  if (const json::Value* counters = root.find("counters")) {
+    for (const auto& [name, value] : counters->members()) {
+      out.counters[name] = value.as_uint();
+    }
+  }
+  if (const json::Value* gauges = root.find("gauges")) {
+    for (const auto& [name, value] : gauges->members()) {
+      out.gauges[name] = value.as_number();
+    }
+  }
+  if (const json::Value* histograms = root.find("histograms")) {
+    for (const auto& [name, entry] : histograms->members()) {
+      HistogramValue h;
+      h.count = entry.get("count").as_uint();
+      h.sum = entry.get("sum").as_number();
+      h.min = entry.get("min").as_number();
+      h.max = entry.get("max").as_number();
+      h.scale = entry.get("scale").as_number();
+      const json::Value& buckets = entry.get("buckets");
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        h.buckets.push_back(buckets.at(i).as_uint());
+      }
+      out.histograms[name] = std::move(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace tricount::obs

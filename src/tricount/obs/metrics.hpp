@@ -1,0 +1,127 @@
+// Metrics registry: named counters, gauges, and histograms behind one
+// snapshot() -> JSON interface.
+//
+// Naming convention (docs/observability.md): dot-separated lowercase
+// paths, most-general component first — "kernel.lookups",
+// "phase.pre.modeled_seconds", "comm.bytes_sent". The registry replaces
+// the ad-hoc plumbing of KernelCounters / PhaseSample fields into bench
+// tables: producers register what they measured, consumers read one
+// uniform snapshot (see core/artifacts.hpp for the run-level producer).
+//
+// Counters and gauges are atomics so ranks may share a registry; the
+// registry map itself is mutex-protected on creation only (lookups return
+// stable references — entries are never removed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tricount/obs/json.hpp"
+
+namespace tricount::obs {
+
+/// Monotonically increasing integer.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed distribution of non-negative samples, plus exact
+/// count/sum/min/max. Bucket b counts samples in (2^(b-1), 2^b] scaled by
+/// `scale` (bucket 0 is (0, 1]·scale; zero samples land in bucket 0 too).
+class Histogram {
+ public:
+  explicit Histogram(double scale = 1.0) : scale_(scale) {}
+
+  void observe(double value);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const { return count() == 0 ? 0.0 : sum() / static_cast<double>(count()); }
+  std::vector<std::uint64_t> buckets() const;
+  double scale() const { return scale_; }
+
+ private:
+  mutable std::mutex mutex_;
+  double scale_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// A point-in-time copy of every metric, convertible to/from JSON.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramValue {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double scale = 1.0;
+    std::vector<std::uint64_t> buckets;
+    bool operator==(const HistogramValue&) const = default;
+  };
+  std::map<std::string, HistogramValue> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+
+  json::Value to_json() const;
+  static Snapshot from_json(const json::Value& root);
+};
+
+class Registry {
+ public:
+  /// Returns the named metric, creating it on first use. References stay
+  /// valid for the registry's lifetime. Requesting an existing name as a
+  /// different metric kind throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double scale = 1.0);
+
+  Snapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(const std::string& name, Kind kind, double scale);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tricount::obs

@@ -1,0 +1,146 @@
+// Per-rank event tracing with Chrome trace-event JSON export.
+//
+// Two producers feed the same Trace container:
+//
+//  * The live Tracer: ranks record begin/end spans and instant events into
+//    per-rank buffers. Each buffer is written only by its own rank's
+//    thread (the rank id comes from the thread-local set by
+//    mpisim::run_world), so recording takes no locks. When no tracer is
+//    installed every hook is a single relaxed atomic load — the disabled
+//    path adds no per-message work.
+//
+//  * The modeled run trace (core/artifacts.hpp): built after a run from
+//    the per-superstep samples, on a virtual timeline where superstep
+//    boundaries are aligned across ranks and communication spans are
+//    drawn from the α–β model, so the timeline totals match
+//    PhaseBreakdown::modeled_seconds exactly.
+//
+// The export format is the Chrome trace-event JSON array understood by
+// chrome://tracing and Perfetto: one process, one "thread" per rank
+// (tid = rank + 1; tid 0 is the modeled cross-rank summary timeline).
+// See docs/observability.md for the schema.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tricount/obs/json.hpp"
+
+namespace tricount::obs {
+
+/// One exported event. `ph` is the trace-event phase: 'X' (complete span)
+/// or 'i' (instant). Timestamps are microseconds, as the format requires.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< spans only
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// An ordered collection of events plus thread naming, serializable to
+/// (and parseable from) the Chrome trace-event JSON format.
+class Trace {
+ public:
+  void set_thread_name(int tid, std::string name);
+  void add_complete(int tid, std::string name, std::string cat, double ts_us,
+                    double dur_us,
+                    std::vector<std::pair<std::string, double>> args = {});
+  void add_instant(int tid, std::string name, std::string cat, double ts_us);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::pair<int, std::string>>& thread_names() const {
+    return thread_names_;
+  }
+
+  /// {"traceEvents": [...]} with metadata events for thread names.
+  json::Value to_json() const;
+  void write_file(const std::string& path) const;
+
+  /// Rebuilds a Trace from to_json() output (or any trace file using the
+  /// same subset). Throws std::runtime_error on schema violations.
+  static Trace from_json(const json::Value& root);
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<int, std::string>> thread_names_;
+};
+
+/// Checks span invariants and returns human-readable violations (empty
+/// means the trace is well formed): non-negative timestamps/durations,
+/// known phase codes, and — per tid — spans that either nest properly or
+/// are disjoint (no partial overlap).
+std::vector<std::string> lint_trace(const Trace& trace);
+
+/// Live tracer. Create with the world size, install(), run, collect().
+class Tracer {
+ public:
+  explicit Tracer(int ranks);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Makes this tracer the process-wide recording target. Install before
+  /// run_world; only one tracer can be installed at a time.
+  void install();
+  void uninstall();
+
+  /// The installed tracer, or nullptr (the common, zero-cost case).
+  static Tracer* current() {
+    return g_current.load(std::memory_order_relaxed);
+  }
+
+  /// Opens a span on the calling thread's rank timeline. Timestamps are
+  /// wall-clock microseconds since the tracer was created.
+  void begin(const char* name, const char* cat);
+  /// Closes the innermost open span on the calling thread's rank.
+  void end();
+  void instant(const char* name, const char* cat);
+
+  int ranks() const { return ranks_; }
+
+  /// Merges all per-rank buffers into one Trace (call after the world has
+  /// joined). Throws std::logic_error if any rank left a span open.
+  Trace collect() const;
+
+ private:
+  struct Buffer {
+    std::vector<TraceEvent> events;
+    std::vector<std::size_t> open;  ///< indices of unclosed spans
+  };
+
+  Buffer& buffer_for_caller();
+  double now_us() const;
+
+  static std::atomic<Tracer*> g_current;
+
+  int ranks_;
+  double epoch_seconds_;
+  /// One buffer per rank plus one trailing buffer for non-rank threads
+  /// (the driver thread before/after run_world).
+  std::vector<Buffer> buffers_;
+};
+
+/// RAII span against the installed tracer; all-no-op when none is.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) : tracer_(Tracer::current()) {
+    if (tracer_ != nullptr) tracer_->begin(name, cat);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace tricount::obs

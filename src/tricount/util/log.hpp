@@ -1,19 +1,37 @@
 // Leveled logging with printf formatting. Thread-safe: one line per call.
+//
+// Every line carries a monotonic timestamp (seconds since the first log
+// call) and the calling thread's simulated rank, so interleaved output
+// from a running world can be attributed:
+//
+//   [   0.001234] [r007] [DEBUG] shift 3 done
+//
+// The rank is a thread-local set by mpisim::run_world for each rank
+// thread ([r---] outside a world). The same thread-local feeds the
+// obs::Tracer per-rank buffers.
 #pragma once
 
 #include <cstdarg>
 
 namespace tricount::util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
 
 /// Sets the minimum level that is emitted. Default: kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Tags the calling thread with a simulated rank id (negative clears the
+/// tag). Set by mpisim::run_world around each rank function.
+void set_current_rank(int rank);
+/// The calling thread's rank tag, or -1 when unset.
+int current_rank();
+
 void log(LogLevel level, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 
+#define TRICOUNT_LOG_TRACE(...) \
+  ::tricount::util::log(::tricount::util::LogLevel::kTrace, __VA_ARGS__)
 #define TRICOUNT_LOG_DEBUG(...) \
   ::tricount::util::log(::tricount::util::LogLevel::kDebug, __VA_ARGS__)
 #define TRICOUNT_LOG_INFO(...) \

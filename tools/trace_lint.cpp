@@ -1,0 +1,113 @@
+// tricount_trace_lint — validates a Chrome trace-event JSON file against
+// the invariants obs::lint_trace checks: parseable JSON, known phase
+// codes, non-negative timestamps, and per-timeline spans that nest or are
+// disjoint (no partial overlap).
+//
+// Usage:
+//   tricount_trace_lint FILE.json...   lint trace files; exit 1 on any violation
+//   tricount_trace_lint --selftest     run the built-in good/bad fixtures
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/trace.hpp"
+
+namespace {
+
+using namespace tricount;
+
+int lint_file(const std::string& path) {
+  obs::Trace trace;
+  try {
+    trace = obs::Trace::from_json(obs::json::read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> violations = obs::lint_trace(trace);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("%s: OK (%zu events)\n", path.c_str(), trace.events().size());
+    return 0;
+  }
+  return 1;
+}
+
+int selftest() {
+  int failures = 0;
+
+  // A well-formed trace: nested and disjoint spans plus an instant.
+  obs::Trace good;
+  good.set_thread_name(0, "rank 0");
+  good.add_complete(0, "outer", "pre", 0.0, 100.0);
+  good.add_complete(0, "inner", "pre", 10.0, 30.0);
+  good.add_complete(0, "later", "tc", 200.0, 50.0);
+  good.add_instant(0, "mark", "tc", 225.0);
+  if (!obs::lint_trace(good).empty()) {
+    std::fprintf(stderr, "selftest: clean trace reported violations\n");
+    ++failures;
+  }
+
+  // Round-trip through JSON must preserve lint-cleanliness.
+  try {
+    const obs::Trace reparsed =
+        obs::Trace::from_json(obs::json::Value::parse(good.to_json().dump()));
+    if (reparsed.events().size() != good.events().size() ||
+        !obs::lint_trace(reparsed).empty()) {
+      std::fprintf(stderr, "selftest: JSON round-trip changed the trace\n");
+      ++failures;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selftest: round-trip threw: %s\n", e.what());
+    ++failures;
+  }
+
+  // Partial overlap on one timeline must be flagged...
+  obs::Trace overlap;
+  overlap.add_complete(0, "a", "pre", 0.0, 100.0);
+  overlap.add_complete(0, "b", "pre", 50.0, 100.0);
+  if (obs::lint_trace(overlap).empty()) {
+    std::fprintf(stderr, "selftest: partial overlap not flagged\n");
+    ++failures;
+  }
+
+  // ...but the same pair on different timelines is fine.
+  obs::Trace two_tids;
+  two_tids.add_complete(0, "a", "pre", 0.0, 100.0);
+  two_tids.add_complete(1, "b", "pre", 50.0, 100.0);
+  if (!obs::lint_trace(two_tids).empty()) {
+    std::fprintf(stderr, "selftest: cross-timeline overlap flagged\n");
+    ++failures;
+  }
+
+  // Negative duration must be flagged.
+  obs::Trace negative;
+  negative.add_complete(0, "a", "pre", 0.0, -1.0);
+  if (obs::lint_trace(negative).empty()) {
+    std::fprintf(stderr, "selftest: negative duration not flagged\n");
+    ++failures;
+  }
+
+  if (failures == 0) std::printf("selftest: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: tricount_trace_lint <FILE.json...|--selftest>\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--selftest") == 0) return selftest();
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    status |= lint_file(argv[i]);
+  }
+  return status;
+}

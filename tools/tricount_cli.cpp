@@ -7,19 +7,25 @@
 //   pervertex  distributed per-vertex counts and clustering coefficients
 //   truss      k-truss decomposition summary
 //   convert    convert between edge-list / MatrixMarket / binary formats
+//   summary    pretty-print a metrics JSON saved by count --metrics-out
 //
 // Examples:
 //   tricount_cli generate --type rmat --scale 14 --out g.mtx
 //   tricount_cli count --file g.mtx --ranks 16
+//   tricount_cli count --file g.mtx --trace-out t.json --metrics-out m.json
 //   tricount_cli count --file g.mtx --algorithm summa --grid-rows 2 --grid-cols 8
 //   tricount_cli pervertex --file g.mtx --ranks 9 --top 5
+//   tricount_cli summary --file m.json --comm-matrix
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "tricount/baselines/aop1d.hpp"
 #include "tricount/baselines/push_based1d.hpp"
 #include "tricount/baselines/wedge_counting.hpp"
+#include "tricount/core/artifacts.hpp"
 #include "tricount/core/driver.hpp"
 #include "tricount/core/per_vertex.hpp"
 #include "tricount/core/summa2d.hpp"
@@ -144,6 +150,60 @@ int cmd_stats(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Renders a p×p traffic matrix as a heatmap table: each cell shows its
+/// byte count plus an ASCII intensity mark scaled to the largest cell.
+void print_comm_heatmap(const std::vector<std::vector<std::uint64_t>>& bytes) {
+  static const char kRamp[] = " .:-=+*#%@";
+  std::uint64_t max_cell = 0;
+  for (const auto& row : bytes) {
+    for (const std::uint64_t b : row) max_cell = std::max(max_cell, b);
+  }
+  std::vector<std::string> headers{"src\\dst"};
+  for (std::size_t d = 0; d < bytes.size(); ++d) {
+    headers.push_back(std::to_string(d));
+  }
+  headers.push_back("row total");
+  util::Table table(std::move(headers));
+  for (std::size_t s = 0; s < bytes.size(); ++s) {
+    table.row().cell(std::to_string(s));
+    std::uint64_t row_total = 0;
+    for (const std::uint64_t b : bytes[s]) {
+      row_total += b;
+      const std::size_t level =
+          max_cell == 0 ? 0
+                        : (static_cast<std::size_t>(
+                               static_cast<double>(b) /
+                               static_cast<double>(max_cell) * 9.0));
+      table.cell(std::to_string(b) + " " + kRamp[std::min<std::size_t>(level, 9)]);
+    }
+    table.cell(row_total);
+  }
+  table.row().cell("col total");
+  std::uint64_t grand = 0;
+  for (std::size_t d = 0; d < bytes.size(); ++d) {
+    std::uint64_t col_total = 0;
+    for (std::size_t s = 0; s < bytes.size(); ++s) col_total += bytes[s][d];
+    grand += col_total;
+    table.cell(col_total);
+  }
+  table.cell(grand);
+  table.print();
+}
+
+void print_comm_heatmap(const mpisim::CommMatrix& matrix) {
+  std::vector<std::vector<std::uint64_t>> bytes(
+      static_cast<std::size_t>(matrix.size()),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(matrix.size()), 0));
+  for (int s = 0; s < matrix.size(); ++s) {
+    for (int d = 0; d < matrix.size(); ++d) {
+      bytes[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+          matrix.at(s, d).bytes();
+    }
+  }
+  util::print_heading("communication matrix (bytes, user + collective)");
+  print_comm_heatmap(bytes);
+}
+
 int cmd_count(int argc, const char* const* argv) {
   util::ArgParser args("tricount_cli count",
                        "Distributed triangle counting.");
@@ -158,6 +218,12 @@ int cmd_count(int argc, const char* const* argv) {
   args.add_flag("modified-hashing", true, "probe-free hashing (§5.2)");
   args.add_flag("backward-exit", true, "backward early exit (§5.2)");
   args.add_flag("blob", true, "blob communication (§5.2)");
+  args.add_option("trace-out", "",
+                  "write a Chrome trace-event JSON timeline (2d only)");
+  args.add_option("metrics-out", "",
+                  "write the metrics JSON artifact (2d only)");
+  args.add_flag("comm-matrix", false,
+                "print the p x p traffic heatmap (2d only)");
   if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
@@ -185,6 +251,17 @@ int cmd_count(int argc, const char* const* argv) {
     std::printf("modeled ppt/tct/overall: %.4f / %.4f / %.4f s\n",
                 result.pre_modeled_seconds(), result.tc_modeled_seconds(),
                 result.total_modeled_seconds());
+    if (!args.get("trace-out").empty()) {
+      core::write_run_trace(result, args.get("trace-out"));
+      std::printf("wrote trace: %s\n", args.get("trace-out").c_str());
+    }
+    if (!args.get("metrics-out").empty()) {
+      core::write_run_metrics(result, args.get("metrics-out"));
+      std::printf("wrote metrics: %s\n", args.get("metrics-out").c_str());
+    }
+    if (args.get_bool("comm-matrix")) {
+      print_comm_heatmap(result.comm_matrix);
+    }
   } else if (algorithm == "summa") {
     core::SummaOptions options;
     options.config = config;
@@ -298,10 +375,113 @@ int cmd_convert(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_summary(int argc, const char* const* argv) {
+  util::ArgParser args("tricount_cli summary",
+                       "Pretty-print a metrics JSON artifact saved by "
+                       "'count --metrics-out'.");
+  args.add_option("file", "", "metrics JSON path");
+  args.add_flag("comm-matrix", false, "also print the traffic heatmap");
+  args.add_flag("steps", true, "print the per-superstep breakdown");
+  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+
+  const obs::json::Value root = obs::json::read_file(args.get("file"));
+  if (const obs::json::Value* schema = root.find("schema");
+      schema == nullptr || schema->as_string() != "tricount.metrics.v1") {
+    std::fprintf(stderr, "summary: %s is not a tricount.metrics.v1 file\n",
+                 args.get("file").c_str());
+    return 1;
+  }
+
+  const obs::json::Value& run = root.get("run");
+  util::print_heading("run");
+  {
+    util::Table table({"field", "value"});
+    for (const auto& [key, value] : run.members()) {
+      if (value.is_number()) {
+        table.row().cell(key).cell(value.as_number(), 0);
+      } else if (value.is_object()) {
+        for (const auto& [sub, subval] : value.members()) {
+          table.row().cell(key + "." + sub).cell(subval.dump());
+        }
+      } else {
+        table.row().cell(key).cell(value.dump());
+      }
+    }
+    table.print();
+  }
+
+  const obs::Snapshot snapshot = obs::Snapshot::from_json(root.get("metrics"));
+  util::print_heading("counters");
+  {
+    util::Table table({"name", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.row().cell(name).cell(value);
+    }
+    table.print();
+  }
+  util::print_heading("gauges");
+  {
+    util::Table table({"name", "value"});
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.row().cell(name).cell(value, 6);
+    }
+    table.print();
+  }
+  if (!snapshot.histograms.empty()) {
+    util::print_heading("histograms");
+    util::Table table({"name", "count", "sum", "min", "max", "mean"});
+    for (const auto& [name, h] : snapshot.histograms) {
+      const double mean =
+          h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+      table.row().cell(name).cell(h.count).cell(h.sum, 6).cell(h.min, 6)
+          .cell(h.max, 6).cell(mean, 6);
+    }
+    table.print();
+  }
+
+  if (args.get_bool("steps")) {
+    if (const obs::json::Value* steps = root.find("steps")) {
+      util::print_heading("supersteps");
+      util::Table table({"phase", "name", "modeled s", "comm s", "max comp s",
+                         "avg comp s", "max bytes"});
+      for (std::size_t i = 0; i < steps->size(); ++i) {
+        const obs::json::Value& s = steps->at(i);
+        table.row()
+            .cell(s.get("phase").as_string())
+            .cell(s.get("name").as_string())
+            .cell(s.get("modeled_seconds").as_number(), 6)
+            .cell(s.get("modeled_comm_seconds").as_number(), 6)
+            .cell(s.get("max_compute_seconds").as_number(), 6)
+            .cell(s.get("avg_compute_seconds").as_number(), 6)
+            .cell(s.get("max_bytes").as_uint());
+      }
+      table.print();
+    }
+  }
+
+  if (args.get_bool("comm-matrix")) {
+    if (const obs::json::Value* matrix = root.find("comm_matrix")) {
+      const std::size_t p = matrix->get("size").as_uint();
+      std::vector<std::vector<std::uint64_t>> bytes(
+          p, std::vector<std::uint64_t>(p, 0));
+      const obs::json::Value& user = matrix->get("user_bytes");
+      const obs::json::Value& coll = matrix->get("collective_bytes");
+      for (std::size_t s = 0; s < p; ++s) {
+        for (std::size_t d = 0; d < p; ++d) {
+          bytes[s][d] = user.at(s).at(d).as_uint() + coll.at(s).at(d).as_uint();
+        }
+      }
+      util::print_heading("communication matrix (bytes, user + collective)");
+      print_comm_heatmap(bytes);
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::puts(
-      "usage: tricount_cli <generate|stats|count|pervertex|truss|convert> "
-      "[options]\n"
+      "usage: tricount_cli "
+      "<generate|stats|count|pervertex|truss|convert|summary> [options]\n"
       "Run 'tricount_cli <subcommand> --help' for subcommand options.");
 }
 
@@ -322,6 +502,7 @@ int main(int argc, char** argv) {
     if (subcommand == "pervertex") return cmd_pervertex(sub_argc, sub_argv);
     if (subcommand == "truss") return cmd_truss(sub_argc, sub_argv);
     if (subcommand == "convert") return cmd_convert(sub_argc, sub_argv);
+    if (subcommand == "summary") return cmd_summary(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tricount_cli: %s\n", e.what());
     return 1;
