@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
         100.0 * r.tc_modeled_comm_seconds() / r.tc_modeled_seconds();
     if (first_tct < 0) first_tct = tct_pct;
     last_tct = tct_pct;
-    obs::json::Value& record = report.add_record(dataset.name, r);
+    obs::json::Value& record = report.add_record(dataset, r);
     record.set("ppt_comm_pct", ppt_pct);
     record.set("tct_comm_pct", tct_pct);
     table.row()

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       const double ppt = r.pre_modeled_seconds() * 1e3;
       const double tct = r.tc_modeled_seconds() * 1e3;
       const double all = ppt + tct;
-      report.add_record(dataset.name, r);
+      report.add_record(dataset, r);
       if (base_ranks == 0) {
         base_ranks = p;
         base_ppt = ppt;

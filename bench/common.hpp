@@ -203,6 +203,34 @@ class JsonReport {
     return records_.back();
   }
 
+  /// Same, but with the dataset's generator parameters and the run's cost
+  /// model embedded as a `provenance` object — `tricount_perf diff`
+  /// refuses to compare records whose provenance differs, so two
+  /// BENCH_*.json files only gate each other when they measured the same
+  /// configuration.
+  obs::json::Value& add_record(const Dataset& dataset,
+                               const core::RunResult& r) {
+    obs::json::Value& record = add_record(dataset.name, r);
+    obs::json::Value generator = obs::json::Value::object();
+    generator.set("scale", dataset.params.scale);
+    generator.set("edge_factor", dataset.params.edge_factor);
+    generator.set("a", dataset.params.a);
+    generator.set("b", dataset.params.b);
+    generator.set("c", dataset.params.c);
+    generator.set("d", dataset.params.d);
+    generator.set("scramble_ids", dataset.params.scramble_ids);
+    generator.set("seed", dataset.params.seed);
+    obs::json::Value provenance = obs::json::Value::object();
+    provenance.set("generator", std::move(generator));
+    provenance.set("ranks", r.ranks);
+    obs::json::Value model = obs::json::Value::object();
+    model.set("alpha_seconds", r.model.alpha_seconds);
+    model.set("beta_seconds_per_byte", r.model.beta_seconds_per_byte);
+    provenance.set("model", std::move(model));
+    record.set("provenance", std::move(provenance));
+    return record;
+  }
+
   /// Writes BENCH_<name>.json into `directory` (no-op when empty — the
   /// --json option was not given).
   void maybe_write(const std::string& directory) const {

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "tricount/obs/analysis.hpp"
+
 namespace tricount::core {
 
 namespace {
@@ -26,7 +28,39 @@ std::vector<Superstep> supersteps_of(const RunResult& result) {
   return steps;
 }
 
+/// The analyzer-side view of this run, built without a JSON round-trip so
+/// the inline report (`count --analyze`) and the trace annotations see
+/// bit-identical numbers to a saved-then-reloaded artifact.
+obs::analysis::RunReport report_of(const RunResult& result) {
+  obs::analysis::RunReport report;
+  report.ranks = result.ranks;
+  report.grid_q = result.grid_q;
+  report.vertices = static_cast<std::uint64_t>(result.num_vertices);
+  report.edges = static_cast<std::uint64_t>(result.num_edges);
+  report.triangles = static_cast<std::uint64_t>(result.triangles);
+  report.model = result.model;
+  for (const Superstep& step : supersteps_of(result)) {
+    const PhaseBreakdown b = breakdown(step.samples);
+    obs::analysis::Step out;
+    out.name = step.name;
+    out.phase = step.phase;
+    out.declared_seconds = b.modeled_seconds(result.model);
+    out.declared_comm_seconds = b.modeled_comm_seconds(result.model);
+    for (const PhaseSample& sample : step.samples) {
+      out.ranks.push_back({sample.compute_cpu_seconds, sample.comm_cpu_seconds,
+                           sample.messages, sample.bytes, sample.ops});
+    }
+    report.steps.push_back(std::move(out));
+  }
+  report.metrics = build_run_snapshot(result);
+  return report;
+}
+
 }  // namespace
+
+obs::analysis::RunReport build_run_report(const RunResult& result) {
+  return report_of(result);
+}
 
 obs::Trace build_run_trace(const RunResult& result) {
   obs::Trace trace;
@@ -35,23 +69,35 @@ obs::Trace build_run_trace(const RunResult& result) {
     trace.set_thread_name(r + 1, "rank " + std::to_string(r));
   }
 
+  // Critical-path attribution for the annotations: which rank bounds each
+  // superstep and how much slack every other rank has in its window.
+  const obs::analysis::Analysis analysis =
+      obs::analysis::analyze(report_of(result));
+
   double t_seconds = 0.0;  // aligned superstep start, same on every rank
+  std::size_t step_index = 0;
   for (const Superstep& step : supersteps_of(result)) {
     const PhaseBreakdown b = breakdown(step.samples);
     const double step_seconds = b.modeled_seconds(result.model);
+    const obs::analysis::StepAnalysis& sa = analysis.steps[step_index++];
     trace.add_complete(
         0, step.name, step.phase, t_seconds * 1e6, step_seconds * 1e6,
         {{"max_compute_seconds", b.max_compute_seconds},
          {"avg_compute_seconds", b.avg_compute_seconds},
          {"max_messages", static_cast<double>(b.max_messages)},
          {"max_bytes", static_cast<double>(b.max_bytes)},
-         {"total_bytes", static_cast<double>(b.total_bytes)}});
+         {"total_bytes", static_cast<double>(b.total_bytes)},
+         {"bounding_rank", static_cast<double>(sa.bounding_rank)},
+         {"imbalance", sa.imbalance}});
     for (std::size_t r = 0; r < step.samples.size(); ++r) {
       const PhaseSample& sample = step.samples[r];
       const int tid = static_cast<int>(r) + 1;
+      const bool straggler = sa.bounding_rank == static_cast<int>(r);
       trace.add_complete(tid, step.name, "compute", t_seconds * 1e6,
                          sample.compute_cpu_seconds * 1e6,
-                         {{"ops", static_cast<double>(sample.ops)}});
+                         {{"ops", static_cast<double>(sample.ops)},
+                          {"slack_seconds", sa.slack_seconds[r]},
+                          {"straggler", straggler ? 1.0 : 0.0}});
       const double comm_seconds =
           result.model.cost(sample.messages, sample.bytes) +
           sample.comm_cpu_seconds;
@@ -60,7 +106,9 @@ obs::Trace build_run_trace(const RunResult& result) {
             tid, step.name + " comm", "comm",
             (t_seconds + sample.compute_cpu_seconds) * 1e6, comm_seconds * 1e6,
             {{"messages", static_cast<double>(sample.messages)},
-             {"bytes", static_cast<double>(sample.bytes)}});
+             {"bytes", static_cast<double>(sample.bytes)},
+             {"slack_seconds", sa.slack_seconds[r]},
+             {"straggler", straggler ? 1.0 : 0.0}});
       }
     }
     t_seconds += step_seconds;
@@ -174,6 +222,18 @@ obs::json::Value build_run_metrics(const RunResult& result) {
     entry.set("max_messages", b.max_messages);
     entry.set("max_bytes", b.max_bytes);
     entry.set("total_bytes", b.total_bytes);
+    entry.set("max_comm_cpu_seconds", b.max_comm_cpu_seconds);
+    Value rank_rows = Value::array();
+    for (const PhaseSample& sample : step.samples) {
+      Value row = Value::object();
+      row.set("compute_seconds", sample.compute_cpu_seconds);
+      row.set("comm_cpu_seconds", sample.comm_cpu_seconds);
+      row.set("messages", sample.messages);
+      row.set("bytes", sample.bytes);
+      row.set("ops", sample.ops);
+      rank_rows.push_back(std::move(row));
+    }
+    entry.set("per_rank", std::move(rank_rows));
     steps.push_back(std::move(entry));
   }
   root.set("steps", std::move(steps));

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "tricount/core/driver.hpp"
+#include "tricount/obs/analysis.hpp"
 #include "tricount/obs/json.hpp"
 #include "tricount/obs/metrics.hpp"
 #include "tricount/obs/trace.hpp"
@@ -25,8 +26,15 @@
 namespace tricount::core {
 
 /// Chrome trace-event timeline of the run: tid 0 is the modeled
-/// cross-rank summary, tid r+1 is rank r.
+/// cross-rank summary, tid r+1 is rank r. Rank spans carry the analyzer's
+/// critical-path annotations (slack_seconds, straggler flag); the modeled
+/// row records each superstep's bounding_rank and imbalance.
 obs::Trace build_run_trace(const RunResult& result);
+
+/// The analyzer's input built directly from a RunResult, bit-identical to
+/// parsing the saved metrics artifact (the JSON layer round-trips doubles
+/// exactly). Feeds `tricount_cli count --analyze` without a temp file.
+obs::analysis::RunReport build_run_report(const RunResult& result);
 
 /// Registry snapshot of every run measurement (kernel.*, phase.*,
 /// comm.*) — see docs/observability.md for the naming convention.

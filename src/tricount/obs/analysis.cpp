@@ -1,0 +1,939 @@
+#include "tricount/obs/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "tricount/util/table.hpp"
+
+namespace tricount::obs::analysis {
+
+namespace {
+
+constexpr const char* kMetricsSchema = "tricount.metrics.v1";
+constexpr const char* kBenchSchema = "tricount.bench.v1";
+
+/// Relative disagreement test for the consistency check. Values that
+/// round-tripped through our own JSON (%.17g) agree bit-for-bit, so any
+/// miss beyond rounding noise means the artifact was edited or the
+/// producer and analyzer formulas drifted apart.
+bool disagrees(double declared, double recomputed, double tolerance) {
+  const double diff = std::fabs(declared - recomputed);
+  if (diff <= 1e-15) return false;
+  return diff > tolerance * std::max(std::fabs(declared), std::fabs(recomputed));
+}
+
+}  // namespace
+
+RunReport RunReport::from_metrics_json(const json::Value& root) {
+  if (const json::Value* schema = root.find("schema");
+      schema == nullptr || schema->as_string() != kMetricsSchema) {
+    throw std::runtime_error("analysis: not a tricount.metrics.v1 document");
+  }
+  RunReport report;
+  const json::Value& run = root.get("run");
+  report.ranks = static_cast<int>(run.get("ranks").as_uint());
+  report.grid_q = static_cast<int>(run.get("grid_q").as_uint());
+  report.vertices = run.get("vertices").as_uint();
+  report.edges = run.get("edges").as_uint();
+  report.triangles = run.get("triangles").as_uint();
+  const json::Value& model = run.get("model");
+  report.model.alpha_seconds = model.get("alpha_seconds").as_number();
+  report.model.beta_seconds_per_byte =
+      model.get("beta_seconds_per_byte").as_number();
+
+  const json::Value& steps = root.get("steps");
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const json::Value& entry = steps.at(i);
+    Step step;
+    step.name = entry.get("name").as_string();
+    step.phase = entry.get("phase").as_string();
+    step.declared_seconds = entry.get("modeled_seconds").as_number();
+    step.declared_comm_seconds = entry.get("modeled_comm_seconds").as_number();
+    const json::Value& per_rank = entry.get("per_rank");
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      const json::Value& row = per_rank.at(r);
+      RankSample sample;
+      sample.compute_seconds = row.get("compute_seconds").as_number();
+      sample.comm_cpu_seconds = row.get("comm_cpu_seconds").as_number();
+      sample.messages = row.get("messages").as_uint();
+      sample.bytes = row.get("bytes").as_uint();
+      sample.ops = row.get("ops").as_uint();
+      step.ranks.push_back(sample);
+    }
+    report.steps.push_back(std::move(step));
+  }
+
+  report.metrics = Snapshot::from_json(root.get("metrics"));
+  return report;
+}
+
+Analysis analyze(const RunReport& report, double tolerance) {
+  Analysis out;
+  out.pre.phase = "pre";
+  out.tc.phase = "tc";
+  out.total.phase = "total";
+
+  const std::size_t nranks =
+      report.ranks > 0 ? static_cast<std::size_t>(report.ranks) : 0;
+  std::vector<RankSummary> ranks(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    ranks[r].rank = static_cast<int>(r);
+  }
+  std::vector<double> pre_compute(nranks, 0.0);
+  std::vector<double> tc_compute(nranks, 0.0);
+  double total_window = 0.0;
+
+  for (const Step& step : report.steps) {
+    StepAnalysis sa;
+    sa.name = step.name;
+    sa.phase = step.phase;
+
+    // Mirror of core::breakdown + PhaseBreakdown::modeled_seconds: the
+    // same maxes in the same association order, so per-phase window sums
+    // reproduce the artifact's ppt/tct totals exactly.
+    double max_compute = 0.0;
+    double sum_compute = 0.0;
+    double max_comm_cpu = 0.0;
+    std::uint64_t max_messages = 0;
+    std::uint64_t max_bytes = 0;
+    for (const RankSample& s : step.ranks) {
+      max_compute = std::max(max_compute, s.compute_seconds);
+      sum_compute += s.compute_seconds;
+      max_comm_cpu = std::max(max_comm_cpu, s.comm_cpu_seconds);
+      max_messages = std::max(max_messages, s.messages);
+      max_bytes = std::max(max_bytes, s.bytes);
+    }
+    sa.max_compute_seconds = max_compute;
+    sa.avg_compute_seconds =
+        step.ranks.empty()
+            ? 0.0
+            : sum_compute / static_cast<double>(step.ranks.size());
+    sa.comm_seconds = report.model.cost(max_messages, max_bytes) + max_comm_cpu;
+    sa.window_seconds = max_compute + sa.comm_seconds;
+    sa.imbalance = sa.avg_compute_seconds > 0.0
+                       ? sa.max_compute_seconds / sa.avg_compute_seconds
+                       : 1.0;
+
+    double min_slack = 0.0;
+    for (std::size_t r = 0; r < step.ranks.size(); ++r) {
+      const RankSample& s = step.ranks[r];
+      const double used = s.compute_seconds +
+                          (report.model.cost(s.messages, s.bytes) +
+                           s.comm_cpu_seconds);
+      const double slack = sa.window_seconds - used;
+      sa.used_seconds.push_back(used);
+      sa.slack_seconds.push_back(slack);
+      if (sa.bounding_rank < 0 || slack < min_slack) {
+        sa.bounding_rank = static_cast<int>(r);
+        min_slack = slack;
+      }
+      if (r < nranks) {
+        ranks[r].compute_seconds += s.compute_seconds;
+        ranks[r].slack_seconds += slack;
+        ranks[r].messages += s.messages;
+        ranks[r].bytes += s.bytes;
+        (step.phase == "pre" ? pre_compute : tc_compute)[r] +=
+            s.compute_seconds;
+      }
+    }
+    if (sa.bounding_rank >= 0 &&
+        static_cast<std::size_t>(sa.bounding_rank) < nranks) {
+      ++ranks[static_cast<std::size_t>(sa.bounding_rank)].steps_bounded;
+    }
+
+    PhaseAnalysis& phase = step.phase == "pre" ? out.pre : out.tc;
+    phase.modeled_seconds += sa.window_seconds;
+    phase.comm_seconds += sa.comm_seconds;
+    total_window += sa.window_seconds;
+
+    if (disagrees(step.declared_seconds, sa.window_seconds, tolerance)) {
+      out.consistency_issues.push_back({"step '" + step.name +
+                                            "' modeled_seconds",
+                                        step.declared_seconds,
+                                        sa.window_seconds});
+    }
+    if (disagrees(step.declared_comm_seconds, sa.comm_seconds, tolerance)) {
+      out.consistency_issues.push_back({"step '" + step.name +
+                                            "' modeled_comm_seconds",
+                                        step.declared_comm_seconds,
+                                        sa.comm_seconds});
+    }
+    out.steps.push_back(std::move(sa));
+  }
+
+  auto finish_phase = [&](PhaseAnalysis& phase,
+                          const std::vector<double>& compute) {
+    double max_c = 0.0;
+    double sum_c = 0.0;
+    for (const double c : compute) {
+      max_c = std::max(max_c, c);
+      sum_c += c;
+    }
+    phase.max_compute_seconds = max_c;
+    phase.avg_compute_seconds =
+        compute.empty() ? 0.0 : sum_c / static_cast<double>(compute.size());
+    phase.imbalance = phase.avg_compute_seconds > 0.0
+                          ? phase.max_compute_seconds / phase.avg_compute_seconds
+                          : 1.0;
+    phase.comm_fraction = phase.modeled_seconds > 0.0
+                              ? phase.comm_seconds / phase.modeled_seconds
+                              : 0.0;
+  };
+  finish_phase(out.pre, pre_compute);
+  finish_phase(out.tc, tc_compute);
+
+  out.total.modeled_seconds = out.pre.modeled_seconds + out.tc.modeled_seconds;
+  out.total.comm_seconds = out.pre.comm_seconds + out.tc.comm_seconds;
+  std::vector<double> total_compute(nranks, 0.0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    total_compute[r] = pre_compute[r] + tc_compute[r];
+  }
+  finish_phase(out.total, total_compute);
+
+  for (RankSummary& r : ranks) {
+    r.slack_fraction =
+        total_window > 0.0 ? r.slack_seconds / total_window : 0.0;
+  }
+  std::sort(ranks.begin(), ranks.end(),
+            [](const RankSummary& a, const RankSummary& b) {
+              if (a.slack_seconds != b.slack_seconds) {
+                return a.slack_seconds < b.slack_seconds;
+              }
+              return a.rank < b.rank;
+            });
+  out.ranks = std::move(ranks);
+
+  // Phase totals declared by the artifact's gauges vs our re-derivation.
+  auto check_gauge = [&](const char* name, double recomputed) {
+    const auto it = report.metrics.gauges.find(name);
+    if (it == report.metrics.gauges.end()) return;
+    if (disagrees(it->second, recomputed, tolerance)) {
+      out.consistency_issues.push_back({name, it->second, recomputed});
+    }
+  };
+  check_gauge("phase.pre.modeled_seconds", out.pre.modeled_seconds);
+  check_gauge("phase.pre.modeled_comm_seconds", out.pre.comm_seconds);
+  check_gauge("phase.tc.modeled_seconds", out.tc.modeled_seconds);
+  check_gauge("phase.tc.modeled_comm_seconds", out.tc.comm_seconds);
+  check_gauge("phase.total.modeled_seconds", out.total.modeled_seconds);
+
+  return out;
+}
+
+void print_report(const RunReport& report, const Analysis& analysis,
+                  int top_stragglers) {
+  util::print_heading("run");
+  std::printf("ranks %d (grid %dx%d), %llu vertices, %llu edges, %llu "
+              "triangles\n",
+              report.ranks, report.grid_q, report.grid_q,
+              static_cast<unsigned long long>(report.vertices),
+              static_cast<unsigned long long>(report.edges),
+              static_cast<unsigned long long>(report.triangles));
+  std::printf("model: alpha %.3g s/message, beta %.3g s/byte\n",
+              report.model.alpha_seconds, report.model.beta_seconds_per_byte);
+
+  util::print_heading("phases");
+  {
+    util::Table table({"phase", "modeled s", "comm s", "comm %", "max comp s",
+                       "avg comp s", "imbalance"});
+    for (const PhaseAnalysis* phase :
+         {&analysis.pre, &analysis.tc, &analysis.total}) {
+      table.row()
+          .cell(phase->phase)
+          .cell(phase->modeled_seconds, 6)
+          .cell(phase->comm_seconds, 6)
+          .cell(100.0 * phase->comm_fraction, 1)
+          .cell(phase->max_compute_seconds, 6)
+          .cell(phase->avg_compute_seconds, 6)
+          .cell(phase->imbalance, 3);
+    }
+    table.print();
+  }
+
+  const PhaseAnalysis& dominant =
+      analysis.tc.modeled_seconds >= analysis.pre.modeled_seconds ? analysis.tc
+                                                                  : analysis.pre;
+  const double dominant_pct =
+      analysis.total.modeled_seconds > 0.0
+          ? 100.0 * dominant.modeled_seconds / analysis.total.modeled_seconds
+          : 0.0;
+  std::printf("\nverdict: %s dominates (%.1f%% of modeled time), %s-bound "
+              "(comm %.1f%% of that phase)",
+              dominant.phase == "tc" ? "triangle counting" : "preprocessing",
+              dominant_pct, dominant.comm_fraction > 0.5 ? "comm" : "compute",
+              100.0 * dominant.comm_fraction);
+  if (!analysis.ranks.empty()) {
+    const RankSummary& straggler = analysis.ranks.front();
+    std::printf("; top straggler rank %d (bounds %d of %zu supersteps, "
+                "slack %.1f%% of run)",
+                straggler.rank, straggler.steps_bounded,
+                analysis.steps.size(), 100.0 * straggler.slack_fraction);
+  }
+  std::printf("\n");
+
+  util::print_heading("stragglers (least slack first)");
+  {
+    util::Table table({"rank", "compute s", "slack s", "slack %",
+                       "steps bounded", "messages", "bytes"});
+    const std::size_t limit = std::min<std::size_t>(
+        top_stragglers <= 0 ? analysis.ranks.size()
+                            : static_cast<std::size_t>(top_stragglers),
+        analysis.ranks.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+      const RankSummary& r = analysis.ranks[i];
+      table.row()
+          .cell(static_cast<std::int64_t>(r.rank))
+          .cell(r.compute_seconds, 6)
+          .cell(r.slack_seconds, 6)
+          .cell(100.0 * r.slack_fraction, 2)
+          .cell(static_cast<std::int64_t>(r.steps_bounded))
+          .cell(r.messages)
+          .cell(r.bytes);
+    }
+    table.print();
+  }
+
+  util::print_heading("supersteps (critical path)");
+  {
+    util::Table table({"phase", "name", "window s", "comm s", "bounding rank",
+                       "min slack s", "imbalance"});
+    for (const StepAnalysis& step : analysis.steps) {
+      const double min_slack =
+          step.bounding_rank >= 0
+              ? step.slack_seconds[static_cast<std::size_t>(step.bounding_rank)]
+              : 0.0;
+      table.row()
+          .cell(step.phase)
+          .cell(step.name)
+          .cell(step.window_seconds, 6)
+          .cell(step.comm_seconds, 6)
+          .cell(static_cast<std::int64_t>(step.bounding_rank))
+          .cell(min_slack, 6)
+          .cell(step.imbalance, 3);
+    }
+    table.print();
+  }
+
+  if (const auto it = report.metrics.histograms.find("tc.shift_compute_seconds");
+      it != report.metrics.histograms.end() && it->second.count > 0) {
+    util::print_heading("per-(rank, shift) compute distribution");
+    const Snapshot::HistogramValue& h = it->second;
+    util::Table table({"count", "p50 s", "p95 s", "p99 s", "max s"});
+    table.row()
+        .cell(h.count)
+        .cell(h.quantile(0.50), 6)
+        .cell(h.quantile(0.95), 6)
+        .cell(h.quantile(0.99), 6)
+        .cell(h.max, 6);
+    table.print();
+  }
+
+  util::print_heading("alpha-beta consistency");
+  if (analysis.consistency_issues.empty()) {
+    std::printf("OK: declared modeled times match their re-derivation from "
+                "counted messages/bytes\n");
+  } else {
+    for (const ConsistencyIssue& issue : analysis.consistency_issues) {
+      std::printf("MISMATCH %s: declared %.9g, recomputed %.9g\n",
+                  issue.what.c_str(), issue.declared, issue.recomputed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact linting
+
+namespace {
+
+class Linter {
+ public:
+  std::vector<std::string> violations;
+
+  void flag(const std::string& what) { violations.push_back(what); }
+
+  const json::Value* require(const json::Value& parent, const char* key,
+                             const std::string& where) {
+    const json::Value* v = parent.find(key);
+    if (v == nullptr) flag(where + ": missing key '" + key + "'");
+    return v;
+  }
+
+  /// Fetches a number that must be finite and non-negative; returns -1 on
+  /// any violation (already flagged).
+  double number(const json::Value& parent, const char* key,
+                const std::string& where) {
+    const json::Value* v = require(parent, key, where);
+    if (v == nullptr) return -1.0;
+    if (!v->is_number() || !std::isfinite(v->as_number())) {
+      flag(where + ": '" + std::string(key) + "' is not a finite number");
+      return -1.0;
+    }
+    if (v->as_number() < 0.0) {
+      flag(where + ": '" + std::string(key) + "' is negative");
+      return -1.0;
+    }
+    return v->as_number();
+  }
+
+  /// Same, but additionally requires an integer value.
+  double counter(const json::Value& parent, const char* key,
+                 const std::string& where) {
+    const double n = number(parent, key, where);
+    if (n >= 0.0 && std::floor(n) != n) {
+      flag(where + ": '" + std::string(key) + "' is not an integer");
+      return -1.0;
+    }
+    return n;
+  }
+};
+
+/// Sums one row of one comm-matrix field; returns false on shape errors.
+bool sum_matrix_row(const json::Value& matrix, const char* field,
+                    std::size_t row, std::size_t p, double& out) {
+  const json::Value* rows = matrix.find(field);
+  if (rows == nullptr || !rows->is_array() || rows->size() != p) return false;
+  const json::Value& r = rows->at(row);
+  if (!r.is_array() || r.size() != p) return false;
+  for (std::size_t d = 0; d < p; ++d) {
+    if (!r.at(d).is_number()) return false;
+    out += r.at(d).as_number();
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> lint_metrics(const json::Value& root) {
+  Linter lint;
+  try {
+    if (!root.is_object()) {
+      lint.flag("document: not a JSON object");
+      return lint.violations;
+    }
+    const json::Value* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kMetricsSchema) {
+      lint.flag("document: 'schema' is not \"tricount.metrics.v1\"");
+      return lint.violations;
+    }
+
+    std::size_t ranks = 0;
+    if (const json::Value* run = lint.require(root, "run", "document")) {
+      const double r = lint.counter(*run, "ranks", "run");
+      const double q = lint.counter(*run, "grid_q", "run");
+      if (r >= 0 && r < 1) lint.flag("run: 'ranks' must be >= 1");
+      if (r >= 1 && q >= 0 && q * q != r) {
+        lint.flag("run: grid_q^2 != ranks");
+      }
+      ranks = r >= 1 ? static_cast<std::size_t>(r) : 0;
+      lint.counter(*run, "vertices", "run");
+      lint.counter(*run, "edges", "run");
+      lint.counter(*run, "triangles", "run");
+      if (const json::Value* model = lint.require(*run, "model", "run")) {
+        lint.number(*model, "alpha_seconds", "run.model");
+        lint.number(*model, "beta_seconds_per_byte", "run.model");
+      }
+    }
+
+    if (const json::Value* metrics = lint.require(root, "metrics", "document")) {
+      try {
+        const Snapshot snapshot = Snapshot::from_json(*metrics);
+        for (const char* gauge :
+             {"phase.pre.modeled_seconds", "phase.pre.modeled_comm_seconds",
+              "phase.tc.modeled_seconds", "phase.tc.modeled_comm_seconds",
+              "phase.total.modeled_seconds"}) {
+          if (snapshot.gauges.find(gauge) == snapshot.gauges.end()) {
+            lint.flag(std::string("metrics: missing gauge '") + gauge + "'");
+          }
+        }
+        for (const auto& [name, value] : snapshot.gauges) {
+          if (!std::isfinite(value)) {
+            lint.flag("metrics: gauge '" + name + "' is not finite");
+          }
+        }
+      } catch (const std::exception& e) {
+        // Snapshot::from_json rejects, among others, negative counters.
+        lint.flag(std::string("metrics: ") + e.what());
+      }
+    }
+
+    if (const json::Value* steps = lint.require(root, "steps", "document")) {
+      if (!steps->is_array()) {
+        lint.flag("steps: not an array");
+      } else {
+        bool seen_tc = false;
+        for (std::size_t i = 0; i < steps->size(); ++i) {
+          const json::Value& entry = steps->at(i);
+          const std::string where = "steps[" + std::to_string(i) + "]";
+          const json::Value* phase = lint.require(entry, "phase", where);
+          if (phase != nullptr) {
+            const std::string p = phase->as_string();
+            if (p != "pre" && p != "tc") {
+              lint.flag(where + ": unknown phase '" + p + "'");
+            }
+            if (p == "tc") seen_tc = true;
+            if (p == "pre" && seen_tc) {
+              lint.flag(where + ": 'pre' step after a 'tc' step");
+            }
+          }
+          lint.require(entry, "name", where);
+          lint.number(entry, "modeled_seconds", where);
+          lint.number(entry, "modeled_comm_seconds", where);
+          lint.number(entry, "max_compute_seconds", where);
+          lint.number(entry, "avg_compute_seconds", where);
+          lint.number(entry, "max_comm_cpu_seconds", where);
+          lint.counter(entry, "max_messages", where);
+          lint.counter(entry, "max_bytes", where);
+          lint.counter(entry, "total_bytes", where);
+          const json::Value* per_rank = lint.require(entry, "per_rank", where);
+          if (per_rank != nullptr) {
+            if (!per_rank->is_array() || per_rank->size() != ranks) {
+              lint.flag(where + ": per_rank length != run.ranks");
+            } else {
+              for (std::size_t r = 0; r < per_rank->size(); ++r) {
+                const std::string rw = where + ".per_rank[" +
+                                       std::to_string(r) + "]";
+                const json::Value& row = per_rank->at(r);
+                lint.number(row, "compute_seconds", rw);
+                lint.number(row, "comm_cpu_seconds", rw);
+                lint.counter(row, "messages", rw);
+                lint.counter(row, "bytes", rw);
+                lint.counter(row, "ops", rw);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    std::vector<double> sent_messages(ranks, -1.0);
+    std::vector<double> sent_bytes(ranks, -1.0);
+    if (const json::Value* per_rank =
+            lint.require(root, "per_rank", "document")) {
+      if (!per_rank->is_array() || per_rank->size() != ranks) {
+        lint.flag("per_rank: length != run.ranks");
+      } else {
+        for (std::size_t r = 0; r < per_rank->size(); ++r) {
+          const std::string where = "per_rank[" + std::to_string(r) + "]";
+          const json::Value& row = per_rank->at(r);
+          const double rank = lint.counter(row, "rank", where);
+          if (rank >= 0 && rank != static_cast<double>(r)) {
+            lint.flag(where + ": 'rank' != array index");
+          }
+          sent_messages[r] = lint.counter(row, "messages_sent", where);
+          sent_bytes[r] = lint.counter(row, "bytes_sent", where);
+          lint.counter(row, "messages_received", where);
+          lint.counter(row, "bytes_received", where);
+          lint.counter(row, "collective_messages_sent", where);
+          lint.counter(row, "collective_bytes_sent", where);
+          lint.number(row, "comm_cpu_seconds", where);
+        }
+      }
+    }
+
+    if (const json::Value* matrix =
+            lint.require(root, "comm_matrix", "document")) {
+      const double size = lint.counter(*matrix, "size", "comm_matrix");
+      if (size >= 0 && size != static_cast<double>(ranks)) {
+        lint.flag("comm_matrix: size != run.ranks");
+      } else {
+        // Row sums must reconcile with the per-rank send totals — the
+        // documented mpisim invariant, now checked on any saved artifact.
+        for (std::size_t r = 0; r < ranks; ++r) {
+          double messages = 0.0;
+          double bytes = 0.0;
+          if (!sum_matrix_row(*matrix, "user_messages", r, ranks, messages) ||
+              !sum_matrix_row(*matrix, "collective_messages", r, ranks,
+                              messages)) {
+            lint.flag("comm_matrix: message rows malformed (row " +
+                      std::to_string(r) + ")");
+            break;
+          }
+          if (!sum_matrix_row(*matrix, "user_bytes", r, ranks, bytes) ||
+              !sum_matrix_row(*matrix, "collective_bytes", r, ranks, bytes)) {
+            lint.flag("comm_matrix: byte rows malformed (row " +
+                      std::to_string(r) + ")");
+            break;
+          }
+          if (sent_messages[r] >= 0 && messages != sent_messages[r]) {
+            lint.flag("comm_matrix: row " + std::to_string(r) +
+                      " message sum != per_rank messages_sent");
+          }
+          if (sent_bytes[r] >= 0 && bytes != sent_bytes[r]) {
+            lint.flag("comm_matrix: row " + std::to_string(r) +
+                      " byte sum != per_rank bytes_sent");
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    lint.flag(std::string("document: ") + e.what());
+  }
+  return lint.violations;
+}
+
+// ---------------------------------------------------------------------------
+// Regression diff
+
+namespace {
+
+class DiffBuilder {
+ public:
+  explicit DiffBuilder(const DiffOptions& options) : options_(options) {}
+
+  void exact(const std::string& field, double baseline, double candidate,
+             const std::string& note = "") {
+    if (baseline == candidate) return;
+    add({DiffEntry::Kind::kExactMismatch, field, baseline, candidate,
+         note.empty() ? "counts must match exactly" : note});
+  }
+
+  /// Deterministic model-derived time: percentage threshold only.
+  void model_time(const std::string& field, double baseline, double candidate) {
+    compare_time(field, baseline, candidate, /*floor_seconds=*/0.0);
+  }
+
+  /// Measured time: threshold plus absolute noise floor.
+  void measured_time(const std::string& field, double baseline,
+                     double candidate) {
+    compare_time(field, baseline, candidate, options_.noise_floor_seconds);
+  }
+
+  /// Dimensionless ratio (imbalance); gates only when `gate` says the
+  /// underlying measurement is large enough to be trustworthy.
+  void ratio(const std::string& field, double baseline, double candidate,
+             bool gate) {
+    if (baseline == candidate) return;
+    const double threshold = baseline * (1.0 + options_.max_regress_pct / 100.0);
+    if (candidate > threshold && gate) {
+      add({DiffEntry::Kind::kRegression, field, baseline, candidate,
+           pct_note(baseline, candidate) + ", exceeds --max-regress " +
+               format(options_.max_regress_pct) + "%"});
+    } else if (candidate > threshold) {
+      add({DiffEntry::Kind::kInfo, field, baseline, candidate,
+           pct_note(baseline, candidate) +
+               " (not gated: measurement below the noise floor)"});
+    } else if (candidate < baseline) {
+      add({DiffEntry::Kind::kImprovement, field, baseline, candidate,
+           pct_note(baseline, candidate)});
+    } else {
+      add({DiffEntry::Kind::kInfo, field, baseline, candidate,
+           pct_note(baseline, candidate)});
+    }
+  }
+
+  void info(const std::string& field, double baseline, double candidate,
+            const std::string& note) {
+    add({DiffEntry::Kind::kInfo, field, baseline, candidate, note});
+  }
+
+  void mismatch(const std::string& field, const std::string& note) {
+    add({DiffEntry::Kind::kExactMismatch, field, 0.0, 0.0, note});
+  }
+
+  DiffResult finish() {
+    std::stable_sort(result_.entries.begin(), result_.entries.end(),
+                     [](const DiffEntry& a, const DiffEntry& b) {
+                       return gates(a.kind) > gates(b.kind);
+                     });
+    return std::move(result_);
+  }
+
+ private:
+  static bool gates(DiffEntry::Kind kind) {
+    return kind == DiffEntry::Kind::kExactMismatch ||
+           kind == DiffEntry::Kind::kRegression;
+  }
+
+  static std::string format(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+  }
+
+  static std::string pct_note(double baseline, double candidate) {
+    if (baseline == 0.0) return "baseline is zero";
+    const double pct = 100.0 * (candidate - baseline) / baseline;
+    return (pct >= 0 ? "+" : "") + format(pct) + "%";
+  }
+
+  void compare_time(const std::string& field, double baseline, double candidate,
+                    double floor_seconds) {
+    if (baseline == candidate) return;
+    const double excess = candidate - baseline;
+    const bool over_pct =
+        baseline == 0.0
+            ? candidate > 1e-12
+            : excess > baseline * (options_.max_regress_pct / 100.0);
+    if (over_pct && excess > floor_seconds) {
+      add({DiffEntry::Kind::kRegression, field, baseline, candidate,
+           pct_note(baseline, candidate) + ", exceeds --max-regress " +
+               format(options_.max_regress_pct) + "%"});
+    } else if (over_pct) {
+      add({DiffEntry::Kind::kInfo, field, baseline, candidate,
+           pct_note(baseline, candidate) + " (within the " +
+               format(floor_seconds) + "s noise floor)"});
+    } else if (excess < 0.0) {
+      add({DiffEntry::Kind::kImprovement, field, baseline, candidate,
+           pct_note(baseline, candidate)});
+    } else {
+      add({DiffEntry::Kind::kInfo, field, baseline, candidate,
+           pct_note(baseline, candidate)});
+    }
+  }
+
+  void add(DiffEntry entry) {
+    if (gates(entry.kind)) result_.ok = false;
+    result_.entries.push_back(std::move(entry));
+  }
+
+  DiffOptions options_;
+  DiffResult result_;
+};
+
+/// Network-only modeled time of one phase: the α–β formula over the
+/// counted per-step traffic maxima, using the artifact's own model. Pure
+/// function of exact counters, so identical configurations agree exactly
+/// and a perturbed cost model shows up as a large, deterministic delta.
+double network_seconds(const RunReport& report, const std::string& phase) {
+  double total = 0.0;
+  for (const Step& step : report.steps) {
+    if (step.phase != phase && phase != "total") continue;
+    std::uint64_t max_messages = 0;
+    std::uint64_t max_bytes = 0;
+    for (const RankSample& s : step.ranks) {
+      max_messages = std::max(max_messages, s.messages);
+      max_bytes = std::max(max_bytes, s.bytes);
+    }
+    total += report.model.cost(max_messages, max_bytes);
+  }
+  return total;
+}
+
+std::uint64_t comm_matrix_mismatches(const json::Value& a,
+                                     const json::Value& b) {
+  std::uint64_t mismatches = 0;
+  for (const char* field : {"user_messages", "user_bytes",
+                            "collective_messages", "collective_bytes"}) {
+    const json::Value* ra = a.find(field);
+    const json::Value* rb = b.find(field);
+    if (ra == nullptr || rb == nullptr || ra->size() != rb->size()) {
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t s = 0; s < ra->size(); ++s) {
+      for (std::size_t d = 0; d < ra->at(s).size(); ++d) {
+        if (d >= rb->at(s).size() ||
+            ra->at(s).at(d).as_number() != rb->at(s).at(d).as_number()) {
+          ++mismatches;
+        }
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+DiffResult diff_metrics(const json::Value& baseline,
+                        const json::Value& candidate,
+                        const DiffOptions& options) {
+  const RunReport base = RunReport::from_metrics_json(baseline);
+  const RunReport cand = RunReport::from_metrics_json(candidate);
+  DiffBuilder diff(options);
+
+  diff.exact("run.ranks", base.ranks, cand.ranks);
+  diff.exact("run.grid_q", base.grid_q, cand.grid_q);
+  diff.exact("run.vertices", static_cast<double>(base.vertices),
+             static_cast<double>(cand.vertices));
+  diff.exact("run.edges", static_cast<double>(base.edges),
+             static_cast<double>(cand.edges));
+  diff.exact("run.triangles", static_cast<double>(base.triangles),
+             static_cast<double>(cand.triangles));
+
+  if (base.model.alpha_seconds != cand.model.alpha_seconds ||
+      base.model.beta_seconds_per_byte != cand.model.beta_seconds_per_byte) {
+    diff.info("run.model", base.model.alpha_seconds, cand.model.alpha_seconds,
+              "cost models differ (alpha shown); network times below reflect "
+              "the change");
+  }
+
+  std::set<std::string> counter_names;
+  for (const auto& [name, value] : base.metrics.counters) {
+    counter_names.insert(name);
+  }
+  for (const auto& [name, value] : cand.metrics.counters) {
+    counter_names.insert(name);
+  }
+  for (const std::string& name : counter_names) {
+    const auto b = base.metrics.counters.find(name);
+    const auto c = cand.metrics.counters.find(name);
+    if (b == base.metrics.counters.end() || c == cand.metrics.counters.end()) {
+      diff.mismatch("metrics." + name, "counter present in only one artifact");
+      continue;
+    }
+    diff.exact("metrics." + name, static_cast<double>(b->second),
+               static_cast<double>(c->second));
+  }
+
+  if (base.steps.size() != cand.steps.size()) {
+    diff.exact("steps.count", static_cast<double>(base.steps.size()),
+               static_cast<double>(cand.steps.size()),
+               "superstep structure differs");
+  } else {
+    for (std::size_t i = 0; i < base.steps.size(); ++i) {
+      const Step& b = base.steps[i];
+      const Step& c = cand.steps[i];
+      const std::string where = "steps[" + std::to_string(i) + "]";
+      if (b.name != c.name || b.phase != c.phase) {
+        diff.mismatch(where, "superstep name/phase differs: '" + b.name +
+                                 "' vs '" + c.name + "'");
+        continue;
+      }
+      std::uint64_t b_messages = 0, b_bytes = 0, c_messages = 0, c_bytes = 0;
+      for (const RankSample& s : b.ranks) {
+        b_messages += s.messages;
+        b_bytes += s.bytes;
+      }
+      for (const RankSample& s : c.ranks) {
+        c_messages += s.messages;
+        c_bytes += s.bytes;
+      }
+      diff.exact(where + " ('" + b.name + "') messages",
+                 static_cast<double>(b_messages),
+                 static_cast<double>(c_messages));
+      diff.exact(where + " ('" + b.name + "') bytes",
+                 static_cast<double>(b_bytes), static_cast<double>(c_bytes));
+    }
+  }
+
+  if (const json::Value* bm = baseline.find("comm_matrix")) {
+    if (const json::Value* cm = candidate.find("comm_matrix")) {
+      const std::uint64_t cells = comm_matrix_mismatches(*bm, *cm);
+      if (cells != 0) {
+        diff.mismatch("comm_matrix",
+                      std::to_string(cells) + " cells differ");
+      }
+    }
+  }
+
+  for (const char* phase : {"pre", "tc", "total"}) {
+    diff.model_time(std::string("network_seconds.") + phase,
+                    network_seconds(base, phase),
+                    network_seconds(cand, phase));
+  }
+
+  const Analysis base_analysis = analyze(base);
+  const Analysis cand_analysis = analyze(cand);
+  const std::pair<const PhaseAnalysis*, const PhaseAnalysis*> phases[] = {
+      {&base_analysis.pre, &cand_analysis.pre},
+      {&base_analysis.tc, &cand_analysis.tc},
+      {&base_analysis.total, &cand_analysis.total},
+  };
+  for (const auto& [b, c] : phases) {
+    diff.measured_time("modeled_seconds." + b->phase, b->modeled_seconds,
+                       c->modeled_seconds);
+    diff.measured_time("modeled_comm_seconds." + b->phase, b->comm_seconds,
+                       c->comm_seconds);
+    // Imbalance is a ratio of thread-CPU measurements; only gate it when
+    // both runs did enough compute for the ratio to be signal, not noise.
+    const bool gate =
+        b->max_compute_seconds > options.noise_floor_seconds &&
+        c->max_compute_seconds > options.noise_floor_seconds;
+    diff.ratio("imbalance." + b->phase, b->imbalance, c->imbalance, gate);
+  }
+
+  return diff.finish();
+}
+
+DiffResult diff_bench(const json::Value& baseline, const json::Value& candidate,
+                      const DiffOptions& options) {
+  DiffBuilder diff(options);
+  auto records_of = [](const json::Value& root) {
+    std::map<std::string, const json::Value*> records;
+    const json::Value& list = root.get("records");
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const json::Value& record = list.at(i);
+      records[record.get("dataset").as_string() + "|ranks=" +
+              std::to_string(record.get("ranks").as_uint())] = &record;
+    }
+    return records;
+  };
+  const auto base = records_of(baseline);
+  const auto cand = records_of(candidate);
+
+  if (const json::Value* b = baseline.find("bench")) {
+    if (const json::Value* c = candidate.find("bench")) {
+      if (b->as_string() != c->as_string()) {
+        diff.mismatch("bench", "different benches: '" + b->as_string() +
+                                   "' vs '" + c->as_string() + "'");
+      }
+    }
+  }
+
+  for (const auto& [key, b] : base) {
+    const auto it = cand.find(key);
+    if (it == cand.end()) {
+      diff.mismatch(key, "record missing from candidate");
+      continue;
+    }
+    const json::Value& c = *it->second;
+
+    const json::Value* bp = b->find("provenance");
+    const json::Value* cp = c.find("provenance");
+    if ((bp == nullptr) != (cp == nullptr) ||
+        (bp != nullptr && bp->dump() != cp->dump())) {
+      diff.mismatch(key + " provenance",
+                    "records are not comparable: generator params or cost "
+                    "model differ");
+      continue;
+    }
+
+    for (const char* field :
+         {"triangles", "vertices", "edges", "messages_sent", "bytes_sent"}) {
+      if (b->find(field) != nullptr && c.find(field) != nullptr) {
+        diff.exact(key + " " + field, b->get(field).as_number(),
+                   c.get(field).as_number());
+      }
+    }
+    for (const char* field :
+         {"pre_modeled_seconds", "tc_modeled_seconds", "total_modeled_seconds",
+          "pre_modeled_comm_seconds", "tc_modeled_comm_seconds"}) {
+      if (b->find(field) != nullptr && c.find(field) != nullptr) {
+        diff.measured_time(key + " " + field, b->get(field).as_number(),
+                           c.get(field).as_number());
+      }
+    }
+  }
+  for (const auto& [key, c] : cand) {
+    if (base.find(key) == base.end()) {
+      diff.mismatch(key, "record missing from baseline");
+    }
+  }
+  return diff.finish();
+}
+
+DiffResult diff_artifacts(const json::Value& baseline,
+                          const json::Value& candidate,
+                          const DiffOptions& options) {
+  const std::string base_schema = baseline.get("schema").as_string();
+  const std::string cand_schema = candidate.get("schema").as_string();
+  if (base_schema != cand_schema) {
+    DiffBuilder diff(options);
+    diff.mismatch("schema", "'" + base_schema + "' vs '" + cand_schema + "'");
+    return diff.finish();
+  }
+  if (base_schema == kMetricsSchema) {
+    return diff_metrics(baseline, candidate, options);
+  }
+  if (base_schema == kBenchSchema) {
+    return diff_bench(baseline, candidate, options);
+  }
+  throw std::runtime_error("diff: unsupported schema '" + base_schema + "'");
+}
+
+}  // namespace tricount::obs::analysis

@@ -1,0 +1,197 @@
+// Perf-doctor: critical-path and imbalance analysis over run artifacts.
+//
+// Consumes a `tricount.metrics.v1` artifact (parsed JSON, or the same
+// structure freshly built in memory by core/artifacts) and answers the
+// questions the paper's evaluation section asks of a run:
+//
+//  * critical-path attribution — which rank bounds each superstep, and
+//    how much slack every other rank has inside that superstep's window
+//    (window = modeled superstep time; slack = window minus the rank's
+//    own compute + modeled comm). Windows are recomputed with exactly
+//    the arithmetic of PhaseBreakdown::modeled_seconds, so the per-phase
+//    window sums equal the artifact's ppt/tct totals bit-for-bit (the
+//    JSON layer round-trips doubles exactly).
+//  * load imbalance — max/avg compute per phase and per superstep, the
+//    definition of the paper's Table 3.
+//  * comm-vs-compute fractions per phase (Figure 3).
+//  * an α–β consistency check — modeled times re-derived from the
+//    counted messages/bytes must match the values the artifact declares,
+//    catching schema drift and hand-edited or corrupted artifacts.
+//
+// The same module hosts the artifact schema linter (trace_lint --metrics)
+// and the regression diff used by `tricount_perf diff` and the `perf`
+// ctest label. Diff gating policy (docs/observability.md): counts and
+// structure compare exactly; model-derived network times compare by the
+// --max-regress threshold (they are deterministic re-runs of the α–β
+// formula over exact counts, so identical configs diff clean); measured
+// CPU times and imbalance factors additionally require the regression to
+// exceed an absolute noise floor before they gate, because thread-CPU
+// readings on small runs are scheduler noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/metrics.hpp"
+#include "tricount/util/cost_model.hpp"
+
+namespace tricount::obs::analysis {
+
+/// One rank's measurements inside one superstep (a `steps[].per_rank`
+/// row of the artifact — the obs-side mirror of core::PhaseSample).
+struct RankSample {
+  double compute_seconds = 0.0;
+  double comm_cpu_seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t ops = 0;
+};
+
+/// One superstep as declared by the artifact: per-rank samples plus the
+/// producer's own modeled numbers (kept for the consistency check).
+struct Step {
+  std::string name;
+  std::string phase;  ///< "pre" or "tc"
+  std::vector<RankSample> ranks;
+  double declared_seconds = 0.0;       ///< steps[].modeled_seconds
+  double declared_comm_seconds = 0.0;  ///< steps[].modeled_comm_seconds
+};
+
+/// A parsed metrics artifact — everything the analyzer needs.
+struct RunReport {
+  int ranks = 0;
+  int grid_q = 0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t triangles = 0;
+  util::AlphaBetaModel model;
+  std::vector<Step> steps;
+  Snapshot metrics;  ///< the artifact's registry snapshot, as recorded
+
+  /// Parses a tricount.metrics.v1 document. Throws std::runtime_error on
+  /// missing keys or type mismatches (run lint_metrics for a full,
+  /// non-throwing violation list).
+  static RunReport from_metrics_json(const json::Value& root);
+};
+
+/// Critical-path view of one superstep.
+struct StepAnalysis {
+  std::string name;
+  std::string phase;
+  double window_seconds = 0.0;  ///< modeled superstep time (recomputed)
+  double comm_seconds = 0.0;    ///< modeled comm share of the window
+  double max_compute_seconds = 0.0;
+  double avg_compute_seconds = 0.0;
+  double imbalance = 1.0;  ///< max/avg compute (1.0 when no compute)
+  int bounding_rank = -1;  ///< rank with the least slack (-1: no ranks)
+  /// Per rank: time in use (own compute + α–β comm + packing CPU) and
+  /// slack (window - used; non-negative by construction of the window).
+  std::vector<double> used_seconds;
+  std::vector<double> slack_seconds;
+};
+
+/// Per-phase rollup ("pre", "tc", or "total").
+struct PhaseAnalysis {
+  std::string phase;
+  double modeled_seconds = 0.0;  ///< sum of this phase's windows, in order
+  double comm_seconds = 0.0;
+  double comm_fraction = 0.0;  ///< comm_seconds / modeled_seconds (0 if empty)
+  double max_compute_seconds = 0.0;  ///< max over ranks of phase compute total
+  double avg_compute_seconds = 0.0;
+  double imbalance = 1.0;  ///< Table 3: max/avg (1.0 when no compute)
+};
+
+/// Whole-run view of one rank, for the straggler table.
+struct RankSummary {
+  int rank = 0;
+  double compute_seconds = 0.0;  ///< total across supersteps
+  double slack_seconds = 0.0;    ///< total slack across supersteps
+  double slack_fraction = 0.0;   ///< slack / total window time
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  int steps_bounded = 0;  ///< supersteps where this rank is the critical rank
+};
+
+/// One declared-vs-recomputed mismatch found by the α–β consistency check.
+struct ConsistencyIssue {
+  std::string what;
+  double declared = 0.0;
+  double recomputed = 0.0;
+};
+
+struct Analysis {
+  std::vector<StepAnalysis> steps;
+  PhaseAnalysis pre, tc, total;
+  /// Sorted by slack ascending: ranks.front() is the top straggler.
+  std::vector<RankSummary> ranks;
+  /// Empty when every declared modeled time matches its α–β re-derivation.
+  std::vector<ConsistencyIssue> consistency_issues;
+};
+
+/// Runs the full analysis. `tolerance` is the relative tolerance of the
+/// α–β consistency check (the default admits only rounding noise; an
+/// artifact that round-tripped through our own JSON matches exactly).
+Analysis analyze(const RunReport& report, double tolerance = 1e-9);
+
+/// Prints the human-readable bottleneck report to stdout: run header,
+/// phase table with comm fractions and imbalance, dominant-phase verdict,
+/// top-`top_stragglers` straggler ranks, the per-superstep slack table,
+/// shift-compute quantiles, and the consistency-check outcome.
+void print_report(const RunReport& report, const Analysis& analysis,
+                  int top_stragglers = 5);
+
+/// Schema validation of a tricount.metrics.v1 document: required keys,
+/// per-rank array lengths vs the declared rank count, non-negative
+/// counters, and comm-matrix row sums that reconcile with the per-rank
+/// traffic totals. Returns human-readable violations (empty = valid).
+std::vector<std::string> lint_metrics(const json::Value& root);
+
+// --- regression diff -------------------------------------------------------
+
+struct DiffOptions {
+  /// Times regress when the candidate exceeds the baseline by more than
+  /// this percentage.
+  double max_regress_pct = 10.0;
+  /// Measured (noise-prone) quantities additionally need an absolute
+  /// excess above this many seconds to gate; model-derived times and
+  /// counts are exempt.
+  double noise_floor_seconds = 0.05;
+};
+
+struct DiffEntry {
+  enum class Kind {
+    kExactMismatch,  ///< counts/structure differ — always gates
+    kRegression,     ///< time-like field regressed past threshold — gates
+    kImprovement,    ///< got better; never gates
+    kInfo,           ///< changed but below threshold/floor; never gates
+  };
+  Kind kind;
+  std::string field;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  std::string note;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  ///< gating entries first
+  bool ok = true;                  ///< false when any entry gates
+};
+
+/// Field-by-field comparison of two tricount.metrics.v1 artifacts.
+DiffResult diff_metrics(const json::Value& baseline,
+                        const json::Value& candidate,
+                        const DiffOptions& options = {});
+
+/// Record-by-record comparison of two tricount.bench.v1 reports; records
+/// pair up by (dataset, ranks) and must carry matching provenance.
+DiffResult diff_bench(const json::Value& baseline, const json::Value& candidate,
+                      const DiffOptions& options = {});
+
+/// Dispatches on the documents' "schema" field (both must agree).
+DiffResult diff_artifacts(const json::Value& baseline,
+                          const json::Value& candidate,
+                          const DiffOptions& options = {});
+
+}  // namespace tricount::obs::analysis

@@ -1,5 +1,6 @@
 #include "tricount/obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -111,6 +112,28 @@ Snapshot Registry::snapshot() const {
     }
   }
   return out;
+}
+
+double Snapshot::HistogramValue::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (static_cast<double>(cumulative + buckets[b]) >= target) {
+      // Bucket b spans (2^(b-1), 2^b]·scale (bucket 0 starts at 0).
+      const double lo =
+          b == 0 ? 0.0 : scale * std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = scale * std::ldexp(1.0, static_cast<int>(b));
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets[b]);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cumulative += buckets[b];
+  }
+  return max;
 }
 
 // ---------------------------------------------------------------------------

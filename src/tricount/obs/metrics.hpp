@@ -89,6 +89,13 @@ struct Snapshot {
     double scale = 1.0;
     std::vector<std::uint64_t> buckets;
     bool operator==(const HistogramValue&) const = default;
+
+    /// Quantile estimate from the power-of-two buckets: linear
+    /// interpolation inside the bucket holding the q-th sample, clamped
+    /// to the exact [min, max]. q <= 0 returns min, q >= 1 returns max,
+    /// an empty histogram returns 0. Feeds the p50/p95/p99 columns of
+    /// the perf report without raw sample dumps.
+    double quantile(double q) const;
   };
   std::map<std::string, HistogramValue> histograms;
 

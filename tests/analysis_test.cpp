@@ -1,0 +1,339 @@
+// Perf-doctor analysis layer: critical-path slack reconciliation against
+// the driver's modeled phase totals, degenerate-input safety, artifact
+// linting, the regression diff, and histogram quantile estimates.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tricount/core/artifacts.hpp"
+#include "tricount/core/driver.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/obs/analysis.hpp"
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/metrics.hpp"
+
+namespace {
+
+using namespace tricount;
+namespace analysis = obs::analysis;
+
+core::RunResult run_2d(const graph::EdgeList& g, int ranks,
+                       core::RunOptions options = {}) {
+  return core::count_triangles_2d(g, ranks, options);
+}
+
+graph::EdgeList small_rmat() {
+  graph::RmatParams params;
+  params.scale = 6;
+  params.edge_factor = 8;
+  params.seed = 1;
+  return graph::simplify(graph::rmat(params));
+}
+
+void expect_all_finite(const analysis::Analysis& a) {
+  for (const analysis::StepAnalysis& step : a.steps) {
+    EXPECT_TRUE(std::isfinite(step.window_seconds)) << step.name;
+    EXPECT_TRUE(std::isfinite(step.imbalance)) << step.name;
+    for (const double slack : step.slack_seconds) {
+      EXPECT_TRUE(std::isfinite(slack)) << step.name;
+    }
+  }
+  for (const analysis::PhaseAnalysis* phase : {&a.pre, &a.tc, &a.total}) {
+    EXPECT_TRUE(std::isfinite(phase->modeled_seconds)) << phase->phase;
+    EXPECT_TRUE(std::isfinite(phase->comm_fraction)) << phase->phase;
+    EXPECT_TRUE(std::isfinite(phase->imbalance)) << phase->phase;
+  }
+  for (const analysis::RankSummary& r : a.ranks) {
+    EXPECT_TRUE(std::isfinite(r.slack_seconds));
+    EXPECT_TRUE(std::isfinite(r.slack_fraction));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path reconciliation
+
+// The acceptance criterion: per-phase window sums must equal the driver's
+// ppt/tct totals bit-for-bit, both in-memory and through a JSON file.
+TEST(Analysis, SlackWindowSumsReconcileExactly) {
+  const core::RunResult result = run_2d(small_rmat(), 4);
+  const analysis::RunReport report = core::build_run_report(result);
+  const analysis::Analysis a = analysis::analyze(report);
+
+  double pre = 0.0, tc = 0.0;
+  for (const analysis::StepAnalysis& step : a.steps) {
+    (step.phase == "pre" ? pre : tc) += step.window_seconds;
+  }
+  EXPECT_EQ(pre, result.pre_modeled_seconds());
+  EXPECT_EQ(tc, result.tc_modeled_seconds());
+  EXPECT_EQ(a.pre.modeled_seconds, result.pre_modeled_seconds());
+  EXPECT_EQ(a.tc.modeled_seconds, result.tc_modeled_seconds());
+  EXPECT_EQ(a.pre.modeled_seconds + a.tc.modeled_seconds,
+            result.total_modeled_seconds());
+  EXPECT_TRUE(a.consistency_issues.empty());
+}
+
+TEST(Analysis, JsonRoundTripPreservesExactReconciliation) {
+  const core::RunResult result = run_2d(small_rmat(), 9);
+  const obs::json::Value artifact = core::build_run_metrics(result);
+  // Serialize and reparse: %.17g round-trips doubles exactly.
+  const obs::json::Value reparsed =
+      obs::json::Value::parse(artifact.dump(2));
+  const analysis::RunReport report =
+      analysis::RunReport::from_metrics_json(reparsed);
+  const analysis::Analysis a = analysis::analyze(report);
+
+  EXPECT_EQ(a.pre.modeled_seconds, result.pre_modeled_seconds());
+  EXPECT_EQ(a.tc.modeled_seconds, result.tc_modeled_seconds());
+  EXPECT_TRUE(a.consistency_issues.empty());
+}
+
+TEST(Analysis, SlackIsNonNegativeAndAccountsForWindow) {
+  const core::RunResult result = run_2d(small_rmat(), 4);
+  const analysis::RunReport report = core::build_run_report(result);
+  const analysis::Analysis a = analysis::analyze(report);
+
+  for (const analysis::StepAnalysis& step : a.steps) {
+    ASSERT_EQ(step.used_seconds.size(), 4u);
+    ASSERT_GE(step.bounding_rank, 0);
+    ASSERT_LT(step.bounding_rank, 4);
+    for (std::size_t r = 0; r < step.used_seconds.size(); ++r) {
+      EXPECT_GE(step.slack_seconds[r], 0.0) << step.name;
+      // a + (w - a) can differ from w by one ulp; allow that much.
+      EXPECT_DOUBLE_EQ(step.used_seconds[r] + step.slack_seconds[r],
+                       step.window_seconds)
+          << step.name;
+    }
+    // The bounding rank has the least slack of any rank.
+    const double bound_slack =
+        step.slack_seconds[static_cast<std::size_t>(step.bounding_rank)];
+    for (const double slack : step.slack_seconds) {
+      EXPECT_GE(slack, bound_slack) << step.name;
+    }
+  }
+  // Every superstep's bound is attributed to exactly one rank.
+  int bounded = 0;
+  for (const analysis::RankSummary& r : a.ranks) bounded += r.steps_bounded;
+  EXPECT_EQ(static_cast<std::size_t>(bounded), a.steps.size());
+}
+
+TEST(Analysis, CommFractionsAndImbalanceAreWellFormed) {
+  const core::RunResult result = run_2d(small_rmat(), 4);
+  const analysis::Analysis a =
+      analysis::analyze(core::build_run_report(result));
+  for (const analysis::PhaseAnalysis* phase : {&a.pre, &a.tc, &a.total}) {
+    EXPECT_GE(phase->comm_fraction, 0.0);
+    EXPECT_LE(phase->comm_fraction, 1.0);
+    EXPECT_GE(phase->imbalance, 1.0);  // max/avg >= 1 by definition
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs (satellite): no div-by-zero, no NaN imbalance.
+
+TEST(AnalysisDegenerate, EmptyGraph) {
+  graph::EdgeList empty;
+  empty.num_vertices = 0;
+  const core::RunResult result = run_2d(empty, 4);
+  const analysis::RunReport report = core::build_run_report(result);
+  const analysis::Analysis a = analysis::analyze(report);
+  expect_all_finite(a);
+  EXPECT_TRUE(a.consistency_issues.empty());
+  analysis::print_report(report, a);  // must not crash or divide by zero
+}
+
+TEST(AnalysisDegenerate, SingleRank) {
+  const core::RunResult result = run_2d(small_rmat(), 1);
+  const analysis::Analysis a =
+      analysis::analyze(core::build_run_report(result));
+  expect_all_finite(a);
+  for (const analysis::StepAnalysis& step : a.steps) {
+    EXPECT_EQ(step.bounding_rank, 0);  // only rank is always critical
+  }
+  ASSERT_EQ(a.ranks.size(), 1u);
+  EXPECT_EQ(static_cast<std::size_t>(a.ranks[0].steps_bounded),
+            a.steps.size());
+}
+
+TEST(AnalysisDegenerate, MoreRankSquaresThanVertices) {
+  // ranks^2 = 256 >> 10 vertices: most blocks are empty.
+  const graph::EdgeList g = graph::complete_graph(10);
+  const core::RunResult result = run_2d(g, 16);
+  const analysis::RunReport report = core::build_run_report(result);
+  const analysis::Analysis a = analysis::analyze(report);
+  expect_all_finite(a);
+  EXPECT_TRUE(a.consistency_issues.empty());
+  analysis::print_report(report, a);
+}
+
+// ---------------------------------------------------------------------------
+// Linting (satellite)
+
+TEST(LintMetrics, AcceptsFreshArtifact) {
+  const core::RunResult result = run_2d(small_rmat(), 4);
+  const obs::json::Value artifact = core::build_run_metrics(result);
+  EXPECT_TRUE(analysis::lint_metrics(artifact).empty());
+}
+
+TEST(LintMetrics, FlagsTamperedArtifacts) {
+  const core::RunResult result = run_2d(small_rmat(), 4);
+  const obs::json::Value artifact = core::build_run_metrics(result);
+
+  {
+    obs::json::Value bad = artifact;
+    bad.set("schema", "tricount.metrics.v0");
+    EXPECT_FALSE(analysis::lint_metrics(bad).empty());
+  }
+  {
+    obs::json::Value bad = artifact;
+    bad.set("per_rank", obs::json::Value::array());  // wrong length
+    EXPECT_FALSE(analysis::lint_metrics(bad).empty());
+  }
+  {
+    obs::json::Value bad = artifact;
+    obs::json::Value run = bad.get("run");
+    run.set("vertices", -3.0);  // negative counter
+    bad.set("run", std::move(run));
+    EXPECT_FALSE(analysis::lint_metrics(bad).empty());
+  }
+  {
+    obs::json::Value bad = artifact;
+    obs::json::Value run = bad.get("run");
+    run.set("grid_q", std::uint64_t{7});  // grid_q^2 != ranks
+    bad.set("run", std::move(run));
+    EXPECT_FALSE(analysis::lint_metrics(bad).empty());
+  }
+}
+
+TEST(LintMetrics, ConsistencyCheckCatchesEditedModeledTime) {
+  const core::RunResult result = run_2d(small_rmat(), 4);
+  obs::json::Value artifact = core::build_run_metrics(result);
+
+  // Double the first step's declared modeled time; the re-derivation from
+  // counted traffic no longer matches.
+  const obs::json::Value& steps = artifact.get("steps");
+  obs::json::Value edited = obs::json::Value::array();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    obs::json::Value entry = steps.at(i);
+    if (i == 0) {
+      entry.set("modeled_seconds",
+                entry.get("modeled_seconds").as_number() * 2.0 + 1.0);
+    }
+    edited.push_back(std::move(entry));
+  }
+  artifact.set("steps", std::move(edited));
+
+  const analysis::Analysis a = analysis::analyze(
+      analysis::RunReport::from_metrics_json(artifact));
+  ASSERT_FALSE(a.consistency_issues.empty());
+  EXPECT_NE(a.consistency_issues[0].what.find("modeled_seconds"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Regression diff
+
+TEST(Diff, IdenticalRunsDiffClean) {
+  const graph::EdgeList g = small_rmat();
+  const obs::json::Value a = core::build_run_metrics(run_2d(g, 4));
+  const obs::json::Value b = core::build_run_metrics(run_2d(g, 4));
+  const analysis::DiffResult diff = analysis::diff_artifacts(a, b);
+  for (const analysis::DiffEntry& entry : diff.entries) {
+    EXPECT_NE(entry.kind, analysis::DiffEntry::Kind::kExactMismatch)
+        << entry.field << ": " << entry.note;
+    EXPECT_NE(entry.kind, analysis::DiffEntry::Kind::kRegression)
+        << entry.field << ": " << entry.note;
+  }
+  EXPECT_TRUE(diff.ok);
+}
+
+TEST(Diff, PerturbedAlphaIsCaught) {
+  const graph::EdgeList g = small_rmat();
+  const obs::json::Value baseline = core::build_run_metrics(run_2d(g, 4));
+  core::RunOptions perturbed;
+  perturbed.model.alpha_seconds *= 10.0;
+  const obs::json::Value candidate =
+      core::build_run_metrics(run_2d(g, 4, perturbed));
+
+  const analysis::DiffResult diff =
+      analysis::diff_artifacts(baseline, candidate);
+  EXPECT_FALSE(diff.ok);
+  bool network_regressed = false;
+  for (const analysis::DiffEntry& entry : diff.entries) {
+    if (entry.kind == analysis::DiffEntry::Kind::kRegression &&
+        entry.field.find("network_seconds") != std::string::npos) {
+      network_regressed = true;
+      EXPECT_FALSE(entry.note.empty());
+    }
+  }
+  EXPECT_TRUE(network_regressed);
+}
+
+TEST(Diff, TamperedTriangleCountIsExactMismatch) {
+  const graph::EdgeList g = small_rmat();
+  const obs::json::Value baseline = core::build_run_metrics(run_2d(g, 4));
+  obs::json::Value candidate = baseline;
+  obs::json::Value run = candidate.get("run");
+  run.set("triangles", run.get("triangles").as_uint() + 1);
+  candidate.set("run", std::move(run));
+
+  const analysis::DiffResult diff =
+      analysis::diff_artifacts(baseline, candidate);
+  EXPECT_FALSE(diff.ok);
+  ASSERT_FALSE(diff.entries.empty());
+  // Gating entries sort first.
+  EXPECT_EQ(diff.entries[0].kind, analysis::DiffEntry::Kind::kExactMismatch);
+}
+
+TEST(Diff, MismatchedSchemasGate) {
+  obs::json::Value a = obs::json::Value::object();
+  a.set("schema", "tricount.metrics.v1");
+  obs::json::Value b = obs::json::Value::object();
+  b.set("schema", "tricount.bench.v1");
+  const analysis::DiffResult diff = analysis::diff_artifacts(a, b);
+  EXPECT_FALSE(diff.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles (satellite)
+
+TEST(HistogramQuantile, EmptySingleAndOrdering) {
+  obs::Snapshot::HistogramValue empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  obs::Histogram one(1.0);
+  one.observe(3.0);
+  obs::Registry registry;
+  registry.histogram("h").observe(3.0);
+  const obs::Snapshot::HistogramValue h =
+      registry.snapshot().histograms.at("h");
+  // One sample: every quantile collapses to it (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(HistogramQuantile, EstimatesAreMonotoneAndBracketed) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("lat", /*scale=*/1.0);
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const obs::Snapshot::HistogramValue snap =
+      registry.snapshot().histograms.at("lat");
+
+  const double p50 = snap.quantile(0.50);
+  const double p95 = snap.quantile(0.95);
+  const double p99 = snap.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, snap.min);
+  EXPECT_LE(p99, snap.max);
+  // Power-of-two buckets bound the error to one bucket span: the true
+  // p50 of 1..1000 is 500, inside bucket (256, 512].
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GT(p99, 512.0);
+  EXPECT_LE(p99, snap.max);
+}
+
+}  // namespace

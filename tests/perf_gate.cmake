@@ -1,0 +1,110 @@
+# Perf regression gate, run as `cmake -P` so it needs no shell.
+#
+# Inputs (all -D):
+#   MODE       check | selfdiff | perturb
+#   DATASET    rmat_s8 | ws_n512 (deterministic generator configs)
+#   RANKS      simulated rank count
+#   CLI        path to tricount_cli
+#   PERF       path to tricount_perf
+#   LINT       path to tricount_trace_lint
+#   BASELINES  directory of checked-in baseline artifacts
+#   WORK_DIR   scratch directory for generated graphs/artifacts
+#
+# Modes:
+#   check     regenerate DATASET, re-run the counting config, lint both the
+#             fresh artifact and the baseline, then `tricount_perf diff
+#             baseline fresh` — must exit 0 (counts are deterministic, the
+#             measured-time noise floor absorbs scheduler jitter).
+#   selfdiff  run the same config twice and diff the two artifacts — must
+#             exit 0.
+#   perturb   re-run with alpha x10 and diff against the baseline — must
+#             exit nonzero and explain the regression.
+#
+# Baseline refresh (after an intentional perf-affecting change):
+#   regenerate each artifact with the commands below and copy it over
+#   results/baselines/<dataset>_r<ranks>.json — see docs/observability.md.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(GRAPH ${WORK_DIR}/${DATASET}.mtx)
+
+if(DATASET STREQUAL "rmat_s8")
+  set(GEN_ARGS --type rmat --scale 8 --edge-factor 8 --seed 1)
+elseif(DATASET STREQUAL "ws_n512")
+  set(GEN_ARGS --type ws --n 512 --k 8 --beta 0.1 --seed 3)
+else()
+  message(FATAL_ERROR "perf_gate: unknown DATASET '${DATASET}'")
+endif()
+
+execute_process(
+  COMMAND ${CLI} generate ${GEN_ARGS} --out ${GRAPH}
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "perf_gate: graph generation failed (${status})")
+endif()
+
+# Runs `tricount_cli count` for this dataset/ranks and writes the metrics
+# artifact to `out`; extra args (e.g. --model) append verbatim.
+function(run_count out)
+  execute_process(
+    COMMAND ${CLI} count --file ${GRAPH} --ranks ${RANKS}
+            --metrics-out ${out} ${ARGN}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "perf_gate: count run failed (${status})")
+  endif()
+endfunction()
+
+set(BASELINE ${BASELINES}/${DATASET}_r${RANKS}.json)
+
+if(MODE STREQUAL "check")
+  if(NOT EXISTS ${BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${BASELINE}")
+  endif()
+  set(FRESH ${WORK_DIR}/${DATASET}_r${RANKS}_fresh.json)
+  run_count(${FRESH})
+  execute_process(
+    COMMAND ${LINT} --metrics ${BASELINE} ${FRESH}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "perf_gate: metrics lint failed (${status})")
+  endif()
+  execute_process(
+    COMMAND ${PERF} diff ${BASELINE} ${FRESH}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: fresh run regresses against ${BASELINE} (${status})")
+  endif()
+elseif(MODE STREQUAL "selfdiff")
+  set(RUN_A ${WORK_DIR}/${DATASET}_r${RANKS}_a.json)
+  set(RUN_B ${WORK_DIR}/${DATASET}_r${RANKS}_b.json)
+  run_count(${RUN_A})
+  run_count(${RUN_B})
+  execute_process(
+    COMMAND ${PERF} diff ${RUN_A} ${RUN_B}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: two runs of the same config diff dirty (${status})")
+  endif()
+elseif(MODE STREQUAL "perturb")
+  if(NOT EXISTS ${BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${BASELINE}")
+  endif()
+  set(PERTURBED ${WORK_DIR}/${DATASET}_r${RANKS}_alpha10.json)
+  # Default model is alpha=1.5e-6, beta=1/3.5e9; perturb alpha x10.
+  run_count(${PERTURBED} --model "1.5e-5,2.857142857142857e-10")
+  execute_process(
+    COMMAND ${PERF} diff ${BASELINE} ${PERTURBED}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE out)
+  message("${out}")
+  if(status EQUAL 0)
+    message(FATAL_ERROR "perf_gate: alpha x10 perturbation not caught")
+  endif()
+  if(NOT out MATCHES "REGRESS")
+    message(FATAL_ERROR "perf_gate: diff output lacks a REGRESS explanation")
+  endif()
+else()
+  message(FATAL_ERROR "perf_gate: unknown MODE '${MODE}'")
+endif()

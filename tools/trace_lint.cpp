@@ -4,13 +4,15 @@
 // disjoint (no partial overlap).
 //
 // Usage:
-//   tricount_trace_lint FILE.json...   lint trace files; exit 1 on any violation
-//   tricount_trace_lint --selftest     run the built-in good/bad fixtures
+//   tricount_trace_lint FILE.json...           lint trace files; exit 1 on any violation
+//   tricount_trace_lint --metrics FILE.json... schema-validate tricount.metrics.v1 files
+//   tricount_trace_lint --selftest             run the built-in good/bad fixtures
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "tricount/obs/analysis.hpp"
 #include "tricount/obs/json.hpp"
 #include "tricount/obs/trace.hpp"
 
@@ -32,6 +34,26 @@ int lint_file(const std::string& path) {
   }
   if (violations.empty()) {
     std::printf("%s: OK (%zu events)\n", path.c_str(), trace.events().size());
+    return 0;
+  }
+  return 1;
+}
+
+int lint_metrics_file(const std::string& path) {
+  obs::json::Value root;
+  try {
+    root = obs::json::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> violations =
+      obs::analysis::lint_metrics(root);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("%s: OK (tricount.metrics.v1)\n", path.c_str());
     return 0;
   }
   return 1;
@@ -101,13 +123,19 @@ int selftest() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tricount_trace_lint <FILE.json...|--selftest>\n");
+                 "usage: tricount_trace_lint "
+                 "<FILE.json...|--metrics FILE.json...|--selftest>\n");
     return 2;
   }
   if (std::strcmp(argv[1], "--selftest") == 0) return selftest();
+  const bool metrics_mode = std::strcmp(argv[1], "--metrics") == 0;
+  if (metrics_mode && argc < 3) {
+    std::fprintf(stderr, "usage: tricount_trace_lint --metrics FILE.json...\n");
+    return 2;
+  }
   int status = 0;
-  for (int i = 1; i < argc; ++i) {
-    status |= lint_file(argv[i]);
+  for (int i = metrics_mode ? 2 : 1; i < argc; ++i) {
+    status |= metrics_mode ? lint_metrics_file(argv[i]) : lint_file(argv[i]);
   }
   return status;
 }

@@ -224,6 +224,11 @@ int cmd_count(int argc, const char* const* argv) {
                   "write the metrics JSON artifact (2d only)");
   args.add_flag("comm-matrix", false,
                 "print the p x p traffic heatmap (2d only)");
+  args.add_option("model", "",
+                  "alpha,beta cost-model override, e.g. 1.5e-6,2.9e-10 "
+                  "(2d only)");
+  args.add_flag("analyze", false,
+                "print the perf-doctor bottleneck report (2d only)");
   if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
@@ -245,6 +250,10 @@ int cmd_count(int argc, const char* const* argv) {
   if (algorithm == "2d") {
     core::RunOptions options;
     options.config = config;
+    if (!args.get("model").empty()) {
+      options.model =
+          util::AlphaBetaModel::from_string(args.get("model").c_str());
+    }
     const auto result = core::count_triangles_2d(g, ranks, options);
     std::printf("triangles: %llu\n",
                 static_cast<unsigned long long>(result.triangles));
@@ -261,6 +270,10 @@ int cmd_count(int argc, const char* const* argv) {
     }
     if (args.get_bool("comm-matrix")) {
       print_comm_heatmap(result.comm_matrix);
+    }
+    if (args.get_bool("analyze")) {
+      const obs::analysis::RunReport report = core::build_run_report(result);
+      obs::analysis::print_report(report, obs::analysis::analyze(report));
     }
   } else if (algorithm == "summa") {
     core::SummaOptions options;
@@ -429,12 +442,14 @@ int cmd_summary(int argc, const char* const* argv) {
   }
   if (!snapshot.histograms.empty()) {
     util::print_heading("histograms");
-    util::Table table({"name", "count", "sum", "min", "max", "mean"});
+    util::Table table(
+        {"name", "count", "sum", "min", "p50", "p95", "p99", "max", "mean"});
     for (const auto& [name, h] : snapshot.histograms) {
       const double mean =
           h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
       table.row().cell(name).cell(h.count).cell(h.sum, 6).cell(h.min, 6)
-          .cell(h.max, 6).cell(mean, 6);
+          .cell(h.quantile(0.50), 6).cell(h.quantile(0.95), 6)
+          .cell(h.quantile(0.99), 6).cell(h.max, 6).cell(mean, 6);
     }
     table.print();
   }

@@ -1,0 +1,150 @@
+// tricount_perf — perf-doctor over saved run artifacts.
+//
+// Usage:
+//   tricount_perf report <metrics.json> [--top N]
+//       Human-readable bottleneck report: dominant phase, comm fractions,
+//       load imbalance, top straggler ranks, per-superstep critical path,
+//       and the α–β consistency check. Exit 1 when the consistency check
+//       fails, 0 otherwise.
+//
+//   tricount_perf diff <baseline.json> <candidate.json>
+//                      [--max-regress PCT] [--noise-floor SECONDS]
+//       Field-by-field regression gate between two artifacts of the same
+//       schema (tricount.metrics.v1 or tricount.bench.v1). Counts and
+//       structure compare exactly; model-derived network times by the
+//       --max-regress threshold; measured CPU times and imbalance gate
+//       only past both the threshold and the absolute noise floor.
+//       Exit 1 on any gating difference, 0 when clean.
+//
+// Exit code 2 signals usage or I/O errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tricount/obs/analysis.hpp"
+#include "tricount/obs/json.hpp"
+#include "tricount/util/table.hpp"
+
+namespace {
+
+using namespace tricount;
+namespace analysis = obs::analysis;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tricount_perf report <metrics.json> [--top N]\n"
+      "       tricount_perf diff <baseline.json> <candidate.json>\n"
+      "                     [--max-regress PCT] [--noise-floor SECONDS]\n");
+  return 2;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  std::string path;
+  int top = 5;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top = std::atoi(args[++i].c_str());
+    } else if (path.empty() && args[i][0] != '-') {
+      path = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  analysis::RunReport report;
+  try {
+    report = analysis::RunReport::from_metrics_json(obs::json::read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tricount_perf: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  const analysis::Analysis result = analysis::analyze(report);
+  analysis::print_report(report, result, top);
+  return result.consistency_issues.empty() ? 0 : 1;
+}
+
+const char* kind_name(analysis::DiffEntry::Kind kind) {
+  switch (kind) {
+    case analysis::DiffEntry::Kind::kExactMismatch: return "MISMATCH";
+    case analysis::DiffEntry::Kind::kRegression: return "REGRESS";
+    case analysis::DiffEntry::Kind::kImprovement: return "improved";
+    case analysis::DiffEntry::Kind::kInfo: return "info";
+  }
+  return "?";
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  analysis::DiffOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-regress" && i + 1 < args.size()) {
+      if (!parse_double(args[++i].c_str(), options.max_regress_pct)) {
+        return usage();
+      }
+    } else if (args[i] == "--noise-floor" && i + 1 < args.size()) {
+      if (!parse_double(args[++i].c_str(), options.noise_floor_seconds)) {
+        return usage();
+      }
+    } else if (args[i][0] != '-') {
+      paths.push_back(args[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  analysis::DiffResult result;
+  try {
+    result = analysis::diff_artifacts(obs::json::read_file(paths[0]),
+                                      obs::json::read_file(paths[1]), options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tricount_perf: %s\n", e.what());
+    return 2;
+  }
+
+  if (result.entries.empty()) {
+    std::printf("diff: identical within thresholds (%s vs %s)\n",
+                paths[0].c_str(), paths[1].c_str());
+    return 0;
+  }
+  util::Table table({"status", "field", "baseline", "candidate", "note"});
+  for (const analysis::DiffEntry& entry : result.entries) {
+    table.row()
+        .cell(kind_name(entry.kind))
+        .cell(entry.field)
+        .cell(entry.baseline, 6)
+        .cell(entry.candidate, 6)
+        .cell(entry.note);
+  }
+  table.print();
+  if (result.ok) {
+    std::printf("diff: OK — no regression past --max-regress %g%%\n",
+                options.max_regress_pct);
+    return 0;
+  }
+  std::printf("diff: FAILED — candidate regresses past --max-regress %g%% "
+              "(or counts/structure changed)\n",
+              options.max_regress_pct);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "report") return cmd_report(args);
+  if (command == "diff") return cmd_diff(args);
+  return usage();
+}
