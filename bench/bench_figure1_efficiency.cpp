@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps"));
   core::RunOptions options;
   options.model = bench::model_from_args(args);
+  options.config.kernel = bench::kernel_from_args(args);
 
   for (const bench::Dataset& dataset :
        bench::paper_datasets(static_cast<int>(args.get_int("scale")))) {

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps"));
   core::RunOptions options;
   options.model = bench::model_from_args(args);
+  options.config.kernel = bench::kernel_from_args(args);
 
   util::Table table({"ranks", "ppt comm %", "tct comm %"});
   bench::JsonReport report("figure3_comm_fraction");

@@ -6,6 +6,7 @@
 #include "tricount/core/block_matrix.hpp"
 #include "tricount/graph/generators.hpp"
 #include "tricount/hashmap/hash_set.hpp"
+#include "tricount/kernels/intersect.hpp"
 #include "tricount/util/rng.hpp"
 
 namespace {
@@ -95,6 +96,69 @@ void BM_ListIntersection(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_ListIntersection)->Range(64, 8192);
+
+void BM_GallopingIntersectionSkewed(benchmark::State& state) {
+  // Needles 64 elements, haystack range(0): the skewed shape the auto
+  // policy routes to galloping.
+  const auto needles = random_keys(64, 1, 1u << 20);
+  const auto haystack =
+      random_keys(static_cast<std::size_t>(state.range(0)), 2, 1u << 20);
+  tricount::kernels::KernelCounters counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tricount::kernels::galloping_intersect(needles, haystack, counters));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(needles.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_GallopingIntersectionSkewed)->Range(2048, 131072);
+
+void BM_MergeIntersectionSkewed(benchmark::State& state) {
+  // The same skewed shape through the merge kernel, for comparison.
+  const auto needles = random_keys(64, 1, 1u << 20);
+  const auto haystack =
+      random_keys(static_cast<std::size_t>(state.range(0)), 2, 1u << 20);
+  tricount::kernels::KernelCounters counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tricount::kernels::merge_intersect(needles, haystack, counters));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(needles.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_MergeIntersectionSkewed)->Range(2048, 131072);
+
+void BM_BitmapIntersection(benchmark::State& state) {
+  // Dense rows (range 4x the length) probed repeatedly — the bitmap
+  // build amortizes across probes exactly as it does across a shift's
+  // tasks.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto hashed = random_keys(n, 1, static_cast<std::uint64_t>(n) * 4);
+  const auto probe = random_keys(n, 2, static_cast<std::uint64_t>(n) * 4);
+  tricount::kernels::RowBitmap bitmap;
+  bitmap.build(hashed);
+  tricount::kernels::KernelCounters counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tricount::kernels::bitmap_intersect(bitmap, probe, counters));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probe.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BitmapIntersection)->Range(64, 8192);
+
+void BM_BitmapBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto hashed = random_keys(n, 1, static_cast<std::uint64_t>(n) * 4);
+  tricount::kernels::RowBitmap bitmap;
+  for (auto _ : state) {
+    bitmap.build(hashed);
+    benchmark::DoNotOptimize(bitmap.universe());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hashed.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BitmapBuild)->Range(64, 8192);
 
 void BM_BlockBlobRoundTrip(benchmark::State& state) {
   std::vector<tricount::core::LocalEntry> entries;

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps"));
   core::RunOptions base;
   base.model = bench::model_from_args(args);
+  base.config.kernel = bench::kernel_from_args(args);
 
   struct Ablation {
     const char* name;
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
     for (const Ablation& ablation : ablations) {
       core::RunOptions options = base;
       options.config = ablation.config;
+      options.config.kernel = base.config.kernel;
       const double ablated = tct_seconds(csr, p, options, reps);
       const double pct = 100.0 * (ablated - full) / ablated;
       table.row()

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps"));
   core::RunOptions options;
   options.model = bench::model_from_args(args);
+  options.config.kernel = bench::kernel_from_args(args);
 
   util::Table table({"ranks", "max runtime (ms)", "avg runtime (ms)",
                      "load imbalance", "task imbalance"});

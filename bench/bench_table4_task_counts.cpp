@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const graph::Csr csr = graph::Csr::from_edges(graph::rmat(dataset.params));
   core::RunOptions options;
   options.model = bench::model_from_args(args);
+  options.config.kernel = bench::kernel_from_args(args);
 
   util::Table table({"ranks", "task counts", "increase vs previous"});
   std::uint64_t previous = 0;

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                 "times are modeled parallel seconds.");
 
   const util::AlphaBetaModel model = bench::model_from_args(args);
+  const kernels::KernelPolicy kernel = bench::kernel_from_args(args);
   const auto ranks_list = bench::ranks_from_args(args);
   const int p = ranks_list.empty() ? 16 : ranks_list.front();
 
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
 
     core::RunOptions options;
     options.model = model;
+    options.config.kernel = kernel;
     const core::RunResult ours = core::count_triangles_2d(g, p, options);
     if (ours.triangles != wedge.triangles()) {
       std::fprintf(stderr, "COUNT MISMATCH on %s\n", dataset.name.c_str());

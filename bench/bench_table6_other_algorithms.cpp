@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
 
   const util::AlphaBetaModel model = bench::model_from_args(args);
+  const kernels::KernelPolicy kernel = bench::kernel_from_args(args);
   const auto ranks_list = bench::ranks_from_args(args);
   const int p = ranks_list.empty() ? 16 : ranks_list.front();
 
@@ -36,15 +37,18 @@ int main(int argc, char** argv) {
 
   core::RunOptions options;
   options.model = model;
+  options.config.kernel = kernel;
   const core::RunResult ours = core::count_triangles_2d(g, p, options);
 
   baselines::AopOptions aop_options;
   aop_options.model = model;
+  aop_options.kernel = kernel;
   const baselines::BaselineResult aop =
       baselines::count_triangles_aop1d(g, p, aop_options);
 
   baselines::PushOptions push_options;
   push_options.model = model;
+  push_options.kernel = kernel;
   const baselines::BaselineResult push =
       baselines::count_triangles_push1d(g, p, push_options);
 

@@ -11,12 +11,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "tricount/core/driver.hpp"
 #include "tricount/graph/generators.hpp"
+#include "tricount/kernels/kernels.hpp"
 #include "tricount/obs/json.hpp"
 #include "tricount/util/argparse.hpp"
 #include "tricount/util/table.hpp"
@@ -82,6 +84,9 @@ inline void add_common_options(util::ArgParser& args, int default_scale,
   args.add_option("ranks", default_ranks, "comma-separated rank counts");
   args.add_option("model", "",
                   "alpha-beta network model override as 'alpha,beta'");
+  args.add_option("kernel", "auto",
+                  "intersection kernel: auto | merge | galloping | bitmap | "
+                  "hash (docs/kernels.md)");
   args.add_option("reps", "3",
                   "repetitions per configuration; the median run (by "
                   "overall modeled time) is reported, damping scheduler "
@@ -255,6 +260,17 @@ inline util::AlphaBetaModel model_from_args(const util::ArgParser& args) {
   const std::string spec = args.get("model");
   return spec.empty() ? util::AlphaBetaModel{}
                       : util::AlphaBetaModel::from_string(spec.c_str());
+}
+
+/// Parses --kernel; exits loudly on an unknown spelling so a sweep script
+/// can't silently fall back to the default kernel.
+inline kernels::KernelPolicy kernel_from_args(const util::ArgParser& args) {
+  kernels::KernelPolicy policy = kernels::KernelPolicy::kAuto;
+  if (!kernels::parse_policy(args.get("kernel"), policy)) {
+    std::fprintf(stderr, "unknown --kernel '%s'\n", args.get("kernel").c_str());
+    std::exit(1);
+  }
+  return policy;
 }
 
 /// Prints the bench banner with the paper reference for the experiment.

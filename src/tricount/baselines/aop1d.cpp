@@ -1,8 +1,10 @@
 #include "tricount/baselines/aop1d.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
+#include "tricount/kernels/intersect.hpp"
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
 
@@ -14,7 +16,6 @@ std::uint64_t ghost_entries_from_bytes(std::uint64_t bytes) {
 
 BaselineResult count_triangles_aop1d(const graph::EdgeList& graph, int ranks,
                                      const AopOptions& options) {
-  (void)options;
   PhaseRecorder recorder(ranks, {"preprocess", "overlap", "count"});
   TriangleCount triangles = 0;
 
@@ -69,29 +70,23 @@ BaselineResult count_triangles_aop1d(const graph::EdgeList& graph, int ranks,
     }
     recorder.record(comm.rank(), 1, tracker.cut());
 
-    // --- counting phase: purely local merge intersections.
+    // --- counting phase: purely local intersections via the shared
+    // kernel layer, reusing Adj+(w) as the pinned row across its tasks.
     auto plus_of = [&](VertexId u) -> const std::vector<VertexId>& {
       if (dag.owns(u)) return dag.plus(u);
       return ghosts.at(u);
     };
     TriangleCount local = 0;
+    kernels::IntersectScratch scratch;
+    kernels::KernelCounters counters;
     for (VertexId k = 0; k < dag.owned(); ++k) {
       const auto& aw = dag.adj_plus[k];
+      if (aw.empty()) continue;
+      scratch.begin_row(std::span<const VertexId>(aw), /*allow_direct=*/true);
       for (const VertexId u : aw) {
         const auto& au = plus_of(u);
-        std::size_t i = 0;
-        std::size_t j = 0;
-        while (i < aw.size() && j < au.size()) {
-          if (aw[i] == au[j]) {
-            ++local;
-            ++i;
-            ++j;
-          } else if (aw[i] < au[j]) {
-            ++i;
-          } else {
-            ++j;
-          }
-        }
+        local += scratch.task(options.kernel, std::span<const VertexId>(au),
+                              /*backward_early_exit=*/true, counters);
       }
     }
     const TriangleCount total = mpisim::allreduce_sum(comm, local);

@@ -9,11 +9,15 @@
 #pragma once
 
 #include "tricount/baselines/common1d.hpp"
+#include "tricount/kernels/kernels.hpp"
 
 namespace tricount::baselines {
 
 struct AopOptions {
   util::AlphaBetaModel model;
+  /// Intersection kernel for the counting phase (shared layer with the
+  /// 2D algorithm; kMerge reproduces the historical inline merge loop).
+  kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto;
 };
 
 /// Phases recorded: "preprocess" (DAG build), "overlap" (ghost exchange),

@@ -3,33 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "tricount/kernels/intersect.hpp"
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
 
 namespace tricount::baselines {
-
-namespace {
-
-TriangleCount merge_count(std::span<const VertexId> a,
-                          std::span<const VertexId> b) {
-  TriangleCount hits = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++hits;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return hits;
-}
-
-}  // namespace
 
 BaselineResult count_triangles_push1d(const graph::EdgeList& graph, int ranks,
                                       const PushOptions& options) {
@@ -49,6 +27,20 @@ BaselineResult count_triangles_push1d(const graph::EdgeList& graph, int ranks,
     recorder.record(comm.rank(), 0, tracker.cut());
 
     TriangleCount local = 0;
+    kernels::IntersectScratch scratch;
+    kernels::KernelCounters counters;
+    // Adj+(w) is the pinned hashed row for both the local tasks and the
+    // unpacked incoming pushes.
+    auto count_against = [&](std::span<const VertexId> aw,
+                             std::span<const VertexId> targets) {
+      if (aw.empty()) return;
+      scratch.begin_row(aw, /*allow_direct=*/true);
+      for (const VertexId u : targets) {
+        local += scratch.task(options.kernel,
+                              std::span<const VertexId>(dag.plus(u)),
+                              /*backward_early_exit=*/true, counters);
+      }
+    };
     const VertexId owned = dag.owned();
     for (int round = 0; round < options.rounds; ++round) {
       const VertexId lo = static_cast<VertexId>(
@@ -76,9 +68,8 @@ BaselineResult count_triangles_push1d(const graph::EdgeList& graph, int ranks,
           const auto& t = targets[static_cast<std::size_t>(r)];
           if (t.empty()) continue;
           if (r == comm.rank()) {
-            for (const VertexId u : t) {
-              local += merge_count(aw, dag.plus(u));
-            }
+            count_against(std::span<const VertexId>(aw),
+                          std::span<const VertexId>(t));
             continue;
           }
           auto& bucket = outgoing[static_cast<std::size_t>(r)];
@@ -98,9 +89,7 @@ BaselineResult count_triangles_push1d(const graph::EdgeList& graph, int ranks,
           const VertexId len = bucket[at++];
           const std::span<const VertexId> aw(bucket.data() + at, len);
           at += len;
-          for (const VertexId u : targets) {
-            local += merge_count(aw, dag.plus(u));
-          }
+          count_against(aw, targets);
         }
       }
     }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "tricount/baselines/common1d.hpp"
+#include "tricount/kernels/kernels.hpp"
 
 namespace tricount::baselines {
 
@@ -17,6 +18,9 @@ struct PushOptions {
   /// Number of batching rounds for the push phase (>= 1).
   int rounds = 4;
   util::AlphaBetaModel model;
+  /// Intersection kernel for the local intersections (shared layer with
+  /// the 2D algorithm).
+  kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto;
 };
 
 /// Phases recorded: "preprocess" (DAG build), "count" (push rounds +

@@ -128,6 +128,15 @@ obs::Snapshot build_run_snapshot(const RunResult& result) {
   registry.counter("kernel.direct_builds").set(kernel.direct_builds);
   registry.counter("kernel.rows_visited").set(kernel.rows_visited);
   registry.counter("kernel.early_exits").set(kernel.early_exits);
+  registry.counter("kernel.merge_calls").set(kernel.merge_calls);
+  registry.counter("kernel.merge_steps").set(kernel.merge_steps);
+  registry.counter("kernel.galloping_calls").set(kernel.galloping_calls);
+  registry.counter("kernel.galloping_steps").set(kernel.galloping_steps);
+  registry.counter("kernel.bitmap_calls").set(kernel.bitmap_calls);
+  registry.counter("kernel.bitmap_tests").set(kernel.bitmap_tests);
+  registry.counter("kernel.bitmap_builds").set(kernel.bitmap_builds);
+  registry.counter("kernel.hash_calls").set(kernel.hash_calls);
+  registry.counter("kernel.hash_lookups").set(kernel.hash_lookups);
 
   registry.gauge("phase.pre.modeled_seconds").set(result.pre_modeled_seconds());
   registry.gauge("phase.pre.modeled_comm_seconds")
@@ -193,7 +202,9 @@ obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix) {
 obs::json::Value build_run_metrics(const RunResult& result) {
   using obs::json::Value;
   Value root = Value::object();
-  root.set("schema", "tricount.metrics.v1");
+  // v2 = v1 plus the per-kernel attribution counters (docs/kernels.md);
+  // readers accept both.
+  root.set("schema", "tricount.metrics.v2");
 
   Value run = Value::object();
   run.set("ranks", result.ranks);

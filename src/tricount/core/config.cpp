@@ -8,14 +8,10 @@ const char* to_string(Enumeration e) {
   return e == Enumeration::kJIK ? "jik" : "ijk";
 }
 
-const char* to_string(Intersection i) {
-  return i == Intersection::kMap ? "map" : "list";
-}
-
 std::string Config::describe() const {
   std::ostringstream os;
   os << "enum=" << to_string(enumeration)
-     << " intersect=" << to_string(intersection)
+     << " kernel=" << kernels::to_string(kernel)
      << " degree_ordering=" << (degree_ordering ? "on" : "off")
      << " doubly_sparse=" << (doubly_sparse ? "on" : "off")
      << " modified_hashing=" << (modified_hashing ? "on" : "off")

@@ -1,9 +1,12 @@
 // Algorithm configuration: every optimization from paper §5.2 plus the
-// enumeration scheme and intersection kind from §3.1 is a switch, so the
-// §7.3 ablation benchmarks can turn each one off independently.
+// enumeration scheme from §3.1 and the intersection kernel policy is a
+// switch, so the §7.3 ablation benchmarks can turn each one off
+// independently.
 #pragma once
 
 #include <string>
+
+#include "tricount/kernels/kernels.hpp"
 
 namespace tricount::core {
 
@@ -12,12 +15,14 @@ namespace tricount::core {
 /// 72.8% faster); kIJK tasks come from U.
 enum class Enumeration { kJIK, kIJK };
 
-/// Set-intersection kernel: hash-map lookups or sorted-list merge.
-enum class Intersection { kMap, kList };
-
 struct Config {
   Enumeration enumeration = Enumeration::kJIK;
-  Intersection intersection = Intersection::kMap;
+
+  /// Which set-intersection kernel the compute phase runs (`--kernel`).
+  /// kAuto picks per task pair from row lengths and density; kHash is the
+  /// paper's map-based kernel, kMerge its list-based kernel; kGalloping
+  /// and kBitmap are the skew/density specialists (docs/kernels.md).
+  kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto;
 
   /// §3.1: relabel vertices into non-decreasing degree order before
   /// counting. Disabling keeps counts exact (the U/L split then follows
@@ -45,6 +50,5 @@ struct Config {
 };
 
 const char* to_string(Enumeration e);
-const char* to_string(Intersection i);
 
 }  // namespace tricount::core

@@ -15,28 +15,6 @@ constexpr int kTagLBlock = 102;
 constexpr int kTagUArrays = 103;  // non-blob mode sends arrays separately
 constexpr int kTagLArrays = 104;
 
-/// Sorted-merge intersection counting matches between two ascending lists.
-TriangleCount merge_intersect(std::span<const VertexId> a,
-                              std::span<const VertexId> b,
-                              KernelCounters& counters) {
-  TriangleCount hits = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    ++counters.lookups;
-    if (a[i] == b[j]) {
-      ++hits;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return hits;
-}
-
 /// Ships a block to `dest` and receives this rank's next block from `src`.
 /// Blob mode: one message round-trip per block (§5.2). Array mode: the
 /// four arrays travel as separate messages and are reassembled — the
@@ -75,10 +53,9 @@ BlockCsr shift_block(mpisim::Comm& comm, BlockCsr block, int dest, int src,
 
 TriangleCount intersect_blocks(const BlockCsr& tasks, const BlockCsr& ublock,
                                const BlockCsr& lblock, const Config& config,
-                               hashmap::VertexHashSet& scratch,
+                               kernels::IntersectScratch& scratch,
                                KernelCounters& counters) {
   TriangleCount found = 0;
-  const bool use_map = config.intersection == Intersection::kMap;
 
   auto process_row = [&](VertexId r) {
     ++counters.rows_visited;
@@ -87,50 +64,15 @@ TriangleCount intersect_blocks(const BlockCsr& tasks, const BlockCsr& ublock,
     const auto urow = ublock.row(r);
     if (urow.empty()) return;  // no closing vertices in this column block
 
-    if (use_map) {
-      scratch.build(urow, config.modified_hashing);
-      ++counters.hash_builds;
-      if (scratch.mode() == hashmap::VertexHashSet::Mode::kDirect) {
-        ++counters.direct_builds;
-      }
-    }
-    const VertexId umin = urow.front();
+    scratch.begin_row(urow, config.modified_hashing);
 
     for (const VertexId e : task_cols) {
       if (e >= lblock.num_local_rows()) continue;
       const auto lrow = lblock.row(e);
       if (lrow.empty()) continue;
       ++counters.intersection_tasks;
-
-      if (!use_map) {
-        found += merge_intersect(urow, lrow, counters);
-        continue;
-      }
-      if (config.backward_early_exit) {
-        // §5.2: the lookup list is ascending and the hash holds nothing
-        // below umin, so walk from the largest id and stop at the first
-        // id below umin — every further lookup would miss.
-        for (std::size_t at = lrow.size(); at-- > 0;) {
-          const VertexId k = lrow[at];
-          if (k < umin) {
-            ++counters.early_exits;
-            break;
-          }
-          ++counters.lookups;
-          if (scratch.contains(k)) {
-            ++counters.hits;
-            ++found;
-          }
-        }
-      } else {
-        for (const VertexId k : lrow) {
-          ++counters.lookups;
-          if (scratch.contains(k)) {
-            ++counters.hits;
-            ++found;
-          }
-        }
-      }
+      found += scratch.task(config.kernel, lrow, config.backward_early_exit,
+                            counters);
     }
   };
 
@@ -148,7 +90,7 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
   const int q = grid.q();
   CountOutput out;
 
-  hashmap::VertexHashSet scratch;
+  kernels::IntersectScratch scratch;
   scratch.reserve_for(std::max<std::size_t>(
       {blocks.ublock.max_row_degree(), std::size_t{16}}));
   scratch.reset_probes();

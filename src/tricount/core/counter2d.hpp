@@ -13,7 +13,7 @@
 #include "tricount/core/instrumentation.hpp"
 #include "tricount/core/preprocess.hpp"
 #include "tricount/graph/types.hpp"
-#include "tricount/hashmap/hash_set.hpp"
+#include "tricount/kernels/intersect.hpp"
 #include "tricount/mpisim/cart2d.hpp"
 
 namespace tricount::core {
@@ -33,11 +33,12 @@ struct CountOutput {
 /// One compute step: intersects every task (r, e) in `tasks` against the
 /// currently-held U and L blocks. For the ⟨j,i,k⟩ scheme r is the
 /// higher-degree endpoint j (its U row gets hashed) and e is i (its L row
-/// is looked up); for ⟨i,j,k⟩ the roles are r = i, e = j. Exposed
+/// is looked up); for ⟨i,j,k⟩ the roles are r = i, e = j. The kernel each
+/// task pair runs is chosen by `config.kernel` (docs/kernels.md). Exposed
 /// separately for unit testing.
 TriangleCount intersect_blocks(const BlockCsr& tasks, const BlockCsr& ublock,
                                const BlockCsr& lblock, const Config& config,
-                               hashmap::VertexHashSet& scratch,
+                               kernels::IntersectScratch& scratch,
                                KernelCounters& counters);
 
 /// Runs the full counting phase. Consumes (shifts away) the U/L blocks.

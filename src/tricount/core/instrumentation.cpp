@@ -13,18 +13,6 @@ PhaseSample& PhaseSample::operator+=(const PhaseSample& other) {
   return *this;
 }
 
-KernelCounters& KernelCounters::operator+=(const KernelCounters& other) {
-  intersection_tasks += other.intersection_tasks;
-  lookups += other.lookups;
-  hits += other.hits;
-  probes += other.probes;
-  hash_builds += other.hash_builds;
-  direct_builds += other.direct_builds;
-  rows_visited += other.rows_visited;
-  early_exits += other.early_exits;
-  return *this;
-}
-
 PhaseSample RankStats::pre_total() const {
   PhaseSample total;
   for (const auto& [name, sample] : pre_steps) total += sample;

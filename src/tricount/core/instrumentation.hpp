@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "tricount/kernels/kernels.hpp"
 #include "tricount/mpisim/comm.hpp"
 #include "tricount/util/cost_model.hpp"
 #include "tricount/util/time.hpp"
@@ -42,19 +43,9 @@ struct PhaseSample {
   PhaseSample& operator+=(const PhaseSample& other);
 };
 
-/// Counter bundle recorded by the counting kernel on each rank.
-struct KernelCounters {
-  std::uint64_t intersection_tasks = 0;  ///< map/list intersections performed
-  std::uint64_t lookups = 0;             ///< hash lookups (or merge steps)
-  std::uint64_t hits = 0;                ///< successful lookups = triangles
-  std::uint64_t probes = 0;              ///< hash probe steps
-  std::uint64_t hash_builds = 0;         ///< rows hashed
-  std::uint64_t direct_builds = 0;       ///< rows hashed in direct mode
-  std::uint64_t rows_visited = 0;        ///< task rows iterated
-  std::uint64_t early_exits = 0;         ///< backward-traversal breaks
-
-  KernelCounters& operator+=(const KernelCounters& other);
-};
+/// The counter bundle lives with the kernels it instruments
+/// (tricount/kernels/kernels.hpp); core keeps the historical name.
+using KernelCounters = kernels::KernelCounters;
 
 /// Everything one rank measured during a full run.
 struct RankStats {

@@ -32,7 +32,10 @@ void accumulate_blocks(const BlockCsr& tasks, const BlockCsr& ublock,
   const auto xv = static_cast<VertexId>(x);
   const auto yv = static_cast<VertexId>(y);
   const auto zv = static_cast<VertexId>(z);
-  const bool use_map = config.intersection == Intersection::kMap;
+  // The accumulator needs the closing vertex of every match (to credit
+  // it), so it keeps its own two-kernel loop: merge when the policy
+  // forces it, the hash path otherwise.
+  const bool use_map = config.kernel != kernels::KernelPolicy::kMerge;
 
   auto process_row = [&](VertexId r) {
     const auto task_cols = tasks.row(r);

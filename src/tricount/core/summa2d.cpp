@@ -168,7 +168,7 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
     std::vector<int> col_members;
     for (int r = 0; r < qr; ++r) col_members.push_back(r * qc + y);
 
-    hashmap::VertexHashSet scratch;
+    kernels::IntersectScratch scratch;
     KernelCounters kernel;
     graph::TriangleCount local = 0;
     std::uint64_t lookups_before = 0;

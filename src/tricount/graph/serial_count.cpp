@@ -2,77 +2,67 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "tricount/graph/degree_order.hpp"
-#include "tricount/hashmap/hash_set.hpp"
+#include "tricount/kernels/intersect.hpp"
 
 namespace tricount::graph {
 
 namespace {
 
-/// Builds the "forward" DAG adjacency: out[v] = neighbours that come after
-/// v in the given total order, each list sorted by order position.
+/// Builds the "forward" DAG adjacency in order-position space: out[v]
+/// holds position[w] for every neighbour w that comes after v in the
+/// given total order, sorted ascending. Equal positions mean equal
+/// vertices, so the lists feed the intersection kernels directly.
 std::vector<std::vector<VertexId>> forward_adjacency(
     const Csr& csr, const std::vector<VertexId>& position) {
   std::vector<std::vector<VertexId>> out(csr.num_vertices());
   for (VertexId v = 0; v < csr.num_vertices(); ++v) {
     for (const VertexId w : csr.neighbors(v)) {
-      if (position[w] > position[v]) out[v].push_back(w);
+      if (position[w] > position[v]) out[v].push_back(position[w]);
     }
-    std::sort(out[v].begin(), out[v].end(),
-              [&](VertexId a, VertexId b) { return position[a] < position[b]; });
+    std::sort(out[v].begin(), out[v].end());
   }
   return out;
-}
-
-TriangleCount intersect_sorted(const std::vector<VertexId>& a,
-                               const std::vector<VertexId>& b,
-                               const std::vector<VertexId>& position) {
-  TriangleCount count = 0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    const VertexId pa = position[a[i]];
-    const VertexId pb = position[b[j]];
-    if (pa == pb) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (pa < pb) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return count;
 }
 
 }  // namespace
 
 TriangleCount count_triangles_serial(const Csr& csr, IntersectionKind kind) {
+  return count_triangles_kernel(csr, kind == IntersectionKind::kList
+                                         ? kernels::KernelPolicy::kMerge
+                                         : kernels::KernelPolicy::kHash);
+}
+
+TriangleCount count_triangles_kernel(const Csr& csr,
+                                     kernels::KernelPolicy policy,
+                                     kernels::KernelCounters* counters) {
   // Non-decreasing-degree order (§3.1): position[v] = rank of v.
   const std::vector<VertexId> position = degree_order_positions(csr);
   const auto forward = forward_adjacency(csr, position);
+  // order[p] = vertex at position p, to map forward entries back.
+  std::vector<VertexId> order(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) order[position[v]] = v;
 
+  kernels::KernelCounters local;
+  kernels::KernelCounters& k = counters != nullptr ? *counters : local;
+  kernels::IntersectScratch scratch;
   TriangleCount total = 0;
-  if (kind == IntersectionKind::kList) {
-    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
-      for (const VertexId w : forward[v]) {
-        total += intersect_sorted(forward[v], forward[w], position);
-      }
-    }
-  } else {
-    hashmap::VertexHashSet set;
-    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
-      if (forward[v].empty()) continue;
-      set.build(std::span<const VertexId>(forward[v]), /*allow_direct=*/true);
-      for (const VertexId w : forward[v]) {
-        for (const VertexId x : forward[w]) {
-          if (set.contains(x)) ++total;
-        }
-      }
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (forward[v].empty()) continue;
+    ++k.rows_visited;
+    scratch.begin_row(std::span<const VertexId>(forward[v]),
+                      /*allow_direct=*/true);
+    for (const VertexId wp : forward[v]) {
+      const std::vector<VertexId>& fw = forward[order[wp]];
+      if (fw.empty()) continue;
+      ++k.intersection_tasks;
+      total += scratch.task(policy, std::span<const VertexId>(fw),
+                            /*backward_early_exit=*/true, k);
     }
   }
+  k.probes += scratch.probes();
   return total;
 }
 

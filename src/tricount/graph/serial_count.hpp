@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "tricount/graph/csr.hpp"
+#include "tricount/kernels/kernels.hpp"
 
 namespace tricount::graph {
 
@@ -19,6 +20,15 @@ enum class IntersectionKind { kList, kMap };
 /// Exact triangle count; degree-ordered forward algorithm.
 TriangleCount count_triangles_serial(
     const Csr& csr, IntersectionKind kind = IntersectionKind::kMap);
+
+/// The same forward algorithm running the shared kernel layer: every
+/// pair intersection goes through the policy-selected kernel, counters
+/// (when given) accumulate the operation mix. The two-kernel overload
+/// above delegates here (kList → kMerge, kMap → kHash).
+TriangleCount count_triangles_kernel(const Csr& csr,
+                                     kernels::KernelPolicy policy,
+                                     kernels::KernelCounters* counters =
+                                         nullptr);
 
 /// Exact triangle count without degree reordering (enumeration by vertex
 /// id). Slower on skewed graphs; used to validate that ordering does not

@@ -13,8 +13,15 @@ namespace tricount::obs::analysis {
 
 namespace {
 
-constexpr const char* kMetricsSchema = "tricount.metrics.v1";
+// v2 added the per-kernel attribution counters; the layout is otherwise
+// identical, so every reader accepts both.
+constexpr const char* kMetricsSchemaV1 = "tricount.metrics.v1";
+constexpr const char* kMetricsSchemaV2 = "tricount.metrics.v2";
 constexpr const char* kBenchSchema = "tricount.bench.v1";
+
+bool is_metrics_schema(const std::string& schema) {
+  return schema == kMetricsSchemaV1 || schema == kMetricsSchemaV2;
+}
 
 /// Relative disagreement test for the consistency check. Values that
 /// round-tripped through our own JSON (%.17g) agree bit-for-bit, so any
@@ -30,8 +37,8 @@ bool disagrees(double declared, double recomputed, double tolerance) {
 
 RunReport RunReport::from_metrics_json(const json::Value& root) {
   if (const json::Value* schema = root.find("schema");
-      schema == nullptr || schema->as_string() != kMetricsSchema) {
-    throw std::runtime_error("analysis: not a tricount.metrics.v1 document");
+      schema == nullptr || !is_metrics_schema(schema->as_string())) {
+    throw std::runtime_error("analysis: not a tricount.metrics.v1/v2 document");
   }
   RunReport report;
   const json::Value& run = root.get("run");
@@ -318,6 +325,65 @@ void print_report(const RunReport& report, const Analysis& analysis,
     table.print();
   }
 
+  // Kernel mix (v2 artifacts): which intersection kernels the compute
+  // phase actually ran, and each one's share of the elementary-operation
+  // total — the attribution behind a `--kernel` comparison.
+  {
+    const auto& counters = report.metrics.counters;
+    auto counter = [&](const char* name) -> std::uint64_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    };
+    struct KernelRow {
+      const char* name;
+      const char* calls_key;
+      const char* ops_key;
+    };
+    const KernelRow rows[] = {
+        {"merge", "kernel.merge_calls", "kernel.merge_steps"},
+        {"galloping", "kernel.galloping_calls", "kernel.galloping_steps"},
+        {"bitmap", "kernel.bitmap_calls", "kernel.bitmap_tests"},
+        {"hash", "kernel.hash_calls", "kernel.hash_lookups"},
+    };
+    std::uint64_t total_calls = 0;
+    std::uint64_t total_ops = 0;
+    for (const KernelRow& row : rows) {
+      total_calls += counter(row.calls_key);
+      total_ops += counter(row.ops_key);
+    }
+    if (total_calls > 0) {
+      util::print_heading("kernel mix");
+      util::Table table({"kernel", "calls", "ops", "calls %", "ops %"});
+      for (const KernelRow& row : rows) {
+        const std::uint64_t calls = counter(row.calls_key);
+        if (calls == 0 && counter(row.ops_key) == 0) continue;
+        table.row()
+            .cell(row.name)
+            .cell(calls)
+            .cell(counter(row.ops_key))
+            .cell(100.0 * static_cast<double>(calls) /
+                      static_cast<double>(total_calls),
+                  1)
+            .cell(total_ops > 0
+                      ? 100.0 * static_cast<double>(counter(row.ops_key)) /
+                            static_cast<double>(total_ops)
+                      : 0.0,
+                  1);
+      }
+      table.print();
+      std::printf("hash builds %llu (direct %llu), bitmap builds %llu, "
+                  "probes %llu, early exits %llu\n",
+                  static_cast<unsigned long long>(counter("kernel.hash_builds")),
+                  static_cast<unsigned long long>(
+                      counter("kernel.direct_builds")),
+                  static_cast<unsigned long long>(
+                      counter("kernel.bitmap_builds")),
+                  static_cast<unsigned long long>(counter("kernel.probes")),
+                  static_cast<unsigned long long>(
+                      counter("kernel.early_exits")));
+    }
+  }
+
   if (const auto it = report.metrics.histograms.find("tc.shift_compute_seconds");
       it != report.metrics.histograms.end() && it->second.count > 0) {
     util::print_heading("per-(rank, shift) compute distribution");
@@ -416,8 +482,8 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
     }
     const json::Value* schema = root.find("schema");
     if (schema == nullptr || !schema->is_string() ||
-        schema->as_string() != kMetricsSchema) {
-      lint.flag("document: 'schema' is not \"tricount.metrics.v1\"");
+        !is_metrics_schema(schema->as_string())) {
+      lint.flag("document: 'schema' is not \"tricount.metrics.v1\"/\"v2\"");
       return lint.violations;
     }
 
@@ -927,7 +993,7 @@ DiffResult diff_artifacts(const json::Value& baseline,
     diff.mismatch("schema", "'" + base_schema + "' vs '" + cand_schema + "'");
     return diff.finish();
   }
-  if (base_schema == kMetricsSchema) {
+  if (is_metrics_schema(base_schema)) {
     return diff_metrics(baseline, candidate, options);
   }
   if (base_schema == kBenchSchema) {

@@ -42,22 +42,31 @@ TriangleCount reference(const EdgeList& g) {
   return graph::count_triangles_serial(graph::Csr::from_edges(g));
 }
 
-// Parameter: (graph index, ranks, enumeration, intersection, feature mask).
+// Parameter: (graph index, ranks, enumeration, kernel, feature mask).
+// Kernel: 0 = auto, 1 = merge, 2 = galloping, 3 = bitmap, 4 = hash.
 // Mask bits: 1 = doubly_sparse, 2 = modified_hashing, 4 = backward exit,
 // 8 = blob comm.
 using SweepParam = std::tuple<int, int, int, int, int>;
 
+kernels::KernelPolicy kernel_from_index(int index) {
+  switch (index) {
+    case 1: return kernels::KernelPolicy::kMerge;
+    case 2: return kernels::KernelPolicy::kGalloping;
+    case 3: return kernels::KernelPolicy::kBitmap;
+    case 4: return kernels::KernelPolicy::kHash;
+    default: return kernels::KernelPolicy::kAuto;
+  }
+}
+
 class ConfigSweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(ConfigSweep, DistributedMatchesSerial) {
-  const auto [graph_index, ranks, enumeration, intersection, mask] =
-      GetParam();
+  const auto [graph_index, ranks, enumeration, kernel, mask] = GetParam();
   const NamedGraph& named = test_graphs()[static_cast<std::size_t>(graph_index)];
   Config config;
   config.enumeration =
       enumeration == 0 ? Enumeration::kJIK : Enumeration::kIJK;
-  config.intersection =
-      intersection == 0 ? Intersection::kMap : Intersection::kList;
+  config.kernel = kernel_from_index(kernel);
   config.doubly_sparse = (mask & 1) != 0;
   config.modified_hashing = (mask & 2) != 0;
   config.backward_early_exit = (mask & 4) != 0;
@@ -93,11 +102,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0), ::testing::Values(0),
                        ::testing::Values(1, 2, 4, 8, 7, 11, 13, 14)));
 
-// List-based intersection across schemes and grids.
+// Every concrete kernel plus auto, across schemes and grids, on both a
+// skewed (rmat) and a dense (complete) graph.
 INSTANTIATE_TEST_SUITE_P(
-    ListKernel, ConfigSweep,
+    KernelSweep, ConfigSweep,
     ::testing::Combine(::testing::Values(0, 3), ::testing::Values(4, 9),
-                       ::testing::Values(0, 1), ::testing::Values(1),
+                       ::testing::Values(0, 1),
+                       ::testing::Values(0, 1, 2, 3, 4),
                        ::testing::Values(15)));
 
 // Large prime-ish grids to stress ragged block shapes.

@@ -59,8 +59,11 @@ core::Config random_config(util::Xoshiro256& rng) {
   core::Config config;
   config.enumeration = rng.bounded(2) == 0 ? core::Enumeration::kJIK
                                            : core::Enumeration::kIJK;
-  config.intersection = rng.bounded(4) == 0 ? core::Intersection::kList
-                                            : core::Intersection::kMap;
+  static constexpr kernels::KernelPolicy kPolicies[] = {
+      kernels::KernelPolicy::kAuto,      kernels::KernelPolicy::kMerge,
+      kernels::KernelPolicy::kGalloping, kernels::KernelPolicy::kBitmap,
+      kernels::KernelPolicy::kHash};
+  config.kernel = kPolicies[rng.bounded(5)];
   config.doubly_sparse = rng.bounded(2) == 0;
   config.modified_hashing = rng.bounded(2) == 0;
   config.backward_early_exit = rng.bounded(2) == 0;

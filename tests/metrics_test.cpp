@@ -81,7 +81,7 @@ TEST(Metrics, TaskCountGrowsWithRanks) {
 
 TEST(Metrics, ListKernelPerformsNoHashBuilds) {
   RunOptions options;
-  options.config.intersection = Intersection::kList;
+  options.config.kernel = kernels::KernelPolicy::kMerge;
   const RunResult r = count_triangles_2d(bench_graph(), 4, options);
   EXPECT_EQ(r.total_kernel().hash_builds, 0u);
   EXPECT_EQ(r.total_kernel().probes, 0u);

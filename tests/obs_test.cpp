@@ -229,7 +229,7 @@ TEST_F(RunArtifactsTest, MetricsJsonHasKernelCountersAndCommMatrix) {
 
   // Round-trip through text, as a consumer would read the file.
   const obs::json::Value parsed = obs::json::Value::parse(metrics.dump(2));
-  EXPECT_EQ(parsed.get("schema").as_string(), "tricount.metrics.v1");
+  EXPECT_EQ(parsed.get("schema").as_string(), "tricount.metrics.v2");
   EXPECT_EQ(parsed.get("run").get("ranks").as_uint(),
             static_cast<std::uint64_t>(result.ranks));
   EXPECT_EQ(parsed.get("run").get("triangles").as_uint(),

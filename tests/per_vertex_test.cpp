@@ -63,7 +63,7 @@ TEST(PerVertex, TotalsAndSumsAreConsistent) {
 TEST(PerVertex, ListKernelAgrees) {
   const EdgeList& g = sweep_graphs()[0];
   RunOptions options;
-  options.config.intersection = Intersection::kList;
+  options.config.kernel = kernels::KernelPolicy::kMerge;
   const PerVertexResult map_result = count_per_vertex_2d(g, 4);
   const PerVertexResult list_result = count_per_vertex_2d(g, 4, options);
   EXPECT_EQ(map_result.counts, list_result.counts);

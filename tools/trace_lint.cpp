@@ -5,7 +5,7 @@
 //
 // Usage:
 //   tricount_trace_lint FILE.json...           lint trace files; exit 1 on any violation
-//   tricount_trace_lint --metrics FILE.json... schema-validate tricount.metrics.v1 files
+//   tricount_trace_lint --metrics FILE.json... schema-validate tricount.metrics.v1/v2 files
 //   tricount_trace_lint --selftest             run the built-in good/bad fixtures
 #include <cstdio>
 #include <cstring>
@@ -53,7 +53,11 @@ int lint_metrics_file(const std::string& path) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
   }
   if (violations.empty()) {
-    std::printf("%s: OK (tricount.metrics.v1)\n", path.c_str());
+    const obs::json::Value* schema = root.find("schema");
+    std::printf("%s: OK (%s)\n", path.c_str(),
+                schema != nullptr && schema->is_string()
+                    ? schema->as_string().c_str()
+                    : "metrics");
     return 0;
   }
   return 1;

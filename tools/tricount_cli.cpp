@@ -34,6 +34,7 @@
 #include "tricount/graph/ktruss.hpp"
 #include "tricount/graph/serial_count.hpp"
 #include "tricount/graph/stats.hpp"
+#include "tricount/kernels/kernels.hpp"
 #include "tricount/util/argparse.hpp"
 #include "tricount/util/table.hpp"
 
@@ -213,7 +214,12 @@ int cmd_count(int argc, const char* const* argv) {
   args.add_option("grid-rows", "0", "summa grid rows (0 = auto)");
   args.add_option("grid-cols", "0", "summa grid cols (0 = auto)");
   args.add_option("enumeration", "jik", "jik | ijk");
-  args.add_option("intersection", "map", "map | list");
+  args.add_option("kernel", "auto",
+                  "intersection kernel: auto | merge | galloping | bitmap | "
+                  "hash (docs/kernels.md)");
+  args.add_option("intersection", "",
+                  "deprecated alias: map = --kernel hash, list = "
+                  "--kernel merge");
   args.add_flag("doubly-sparse", true, "doubly sparse traversal (§5.2)");
   args.add_flag("modified-hashing", true, "probe-free hashing (§5.2)");
   args.add_flag("backward-exit", true, "backward early exit (§5.2)");
@@ -239,9 +245,20 @@ int cmd_count(int argc, const char* const* argv) {
   config.enumeration = args.get("enumeration") == "ijk"
                            ? core::Enumeration::kIJK
                            : core::Enumeration::kJIK;
-  config.intersection = args.get("intersection") == "list"
-                            ? core::Intersection::kList
-                            : core::Intersection::kMap;
+  if (!kernels::parse_policy(args.get("kernel"), config.kernel)) {
+    std::fprintf(stderr, "unknown --kernel '%s'\n", args.get("kernel").c_str());
+    return 1;
+  }
+  if (const std::string inter = args.get("intersection"); !inter.empty()) {
+    if (inter != "map" && inter != "list") {
+      std::fprintf(stderr, "unknown --intersection '%s'\n", inter.c_str());
+      return 1;
+    }
+    if (args.get("kernel") == "auto") {
+      config.kernel = inter == "list" ? kernels::KernelPolicy::kMerge
+                                      : kernels::KernelPolicy::kHash;
+    }
+  }
   config.doubly_sparse = args.get_bool("doubly-sparse");
   config.modified_hashing = args.get_bool("modified-hashing");
   config.backward_early_exit = args.get_bool("backward-exit");
@@ -297,11 +314,15 @@ int cmd_count(int argc, const char* const* argv) {
     std::printf("modeled ppt/tct: %.4f / %.4f s\n", result.pre_modeled_seconds,
                 result.tc_modeled_seconds);
   } else if (algorithm == "aop") {
-    const auto result = baselines::count_triangles_aop1d(g, ranks);
+    baselines::AopOptions options;
+    options.kernel = config.kernel;
+    const auto result = baselines::count_triangles_aop1d(g, ranks, options);
     std::printf("triangles: %llu\n",
                 static_cast<unsigned long long>(result.triangles));
   } else if (algorithm == "push") {
-    const auto result = baselines::count_triangles_push1d(g, ranks);
+    baselines::PushOptions options;
+    options.kernel = config.kernel;
+    const auto result = baselines::count_triangles_push1d(g, ranks, options);
     std::printf("triangles: %llu\n",
                 static_cast<unsigned long long>(result.triangles));
   } else if (algorithm == "wedge") {
@@ -399,8 +420,9 @@ int cmd_summary(int argc, const char* const* argv) {
 
   const obs::json::Value root = obs::json::read_file(args.get("file"));
   if (const obs::json::Value* schema = root.find("schema");
-      schema == nullptr || schema->as_string() != "tricount.metrics.v1") {
-    std::fprintf(stderr, "summary: %s is not a tricount.metrics.v1 file\n",
+      schema == nullptr || (schema->as_string() != "tricount.metrics.v1" &&
+                            schema->as_string() != "tricount.metrics.v2")) {
+    std::fprintf(stderr, "summary: %s is not a tricount.metrics.v1/v2 file\n",
                  args.get("file").c_str());
     return 1;
   }
