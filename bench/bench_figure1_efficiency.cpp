@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     double tct_eff_last = 0.0;
     for (const int p : ranks) {
       if (mpisim::perfect_square_root(p) == 0) continue;
+      options.chaos = bench::chaos_from_args(args, p);
       const core::RunResult r = bench::median_run(csr, p, options, reps);
       const double ppt = r.pre_modeled_seconds();
       const double tct = r.tc_modeled_seconds();

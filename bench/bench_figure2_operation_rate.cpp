@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   util::Table table({"ranks", "ppt kOps/s", "tct kOps/s"});
   for (const int p : bench::ranks_from_args(args)) {
     if (mpisim::perfect_square_root(p) == 0) continue;
+    options.chaos = bench::chaos_from_args(args, p);
     const core::RunResult r = bench::median_run(csr, p, options, reps);
     const double ppt_rate = static_cast<double>(r.pre_ops()) /
                             r.pre_modeled_seconds() / 1e3;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   double last_tct = 0.0;
   for (const int p : bench::ranks_from_args(args)) {
     if (mpisim::perfect_square_root(p) == 0) continue;
+    options.chaos = bench::chaos_from_args(args, p);
     const core::RunResult r = bench::median_run(csr, p, options, reps);
     const double ppt_pct =
         100.0 * r.pre_modeled_comm_seconds() / r.pre_modeled_seconds();

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     graph::TriangleCount expected_triangles = 0;
     for (const int p : ranks) {
       if (mpisim::perfect_square_root(p) == 0) continue;
+      options.chaos = bench::chaos_from_args(args, p);
       const core::RunResult r = bench::median_run(csr, p, options, reps);
       if (expected_triangles == 0) {
         expected_triangles = r.triangles;

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                      "load imbalance", "task imbalance"});
   for (const int p : bench::ranks_from_args(args)) {
     if (mpisim::perfect_square_root(p) == 0) continue;
+    options.chaos = bench::chaos_from_args(args, p);
     const core::RunResult r = bench::median_run(csr, p, options, reps);
     double max_total = 0.0;
     double avg_total = 0.0;

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   std::uint64_t previous = 0;
   for (const int p : bench::ranks_from_args(args)) {
     if (mpisim::perfect_square_root(p) == 0) continue;
+    options.chaos = bench::chaos_from_args(args, p);
     // Task counts are deterministic; a single run suffices.
     const core::RunResult r = core::count_triangles_2d(csr, p, options);
     const std::uint64_t tasks = r.total_kernel().intersection_tasks;

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     core::RunOptions options;
     options.model = model;
     options.config.kernel = kernel;
+    options.chaos = bench::chaos_from_args(args, p);
     const core::RunResult ours = core::count_triangles_2d(g, p, options);
     if (ours.triangles != wedge.triangles()) {
       std::fprintf(stderr, "COUNT MISMATCH on %s\n", dataset.name.c_str());

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "tricount/chaos/options.hpp"
 #include "tricount/core/driver.hpp"
 #include "tricount/graph/generators.hpp"
 #include "tricount/kernels/kernels.hpp"
@@ -98,6 +99,17 @@ inline void add_common_options(util::ArgParser& args, int default_scale,
   args.add_option("json", "",
                   "also write machine-readable run records as "
                   "BENCH_<name>.json into this directory ('.' for cwd)");
+  // Fault-injection knobs (inert without --chaos-seed); lets any bench
+  // measure the algorithm's behavior on a faulty fabric (docs/chaos.md).
+  chaos::add_chaos_options(args);
+}
+
+/// The chaos plan the bench's --chaos-* options describe for a `ranks`-
+/// rank world, or nullptr when chaos is off. Re-resolve per rank count:
+/// the seed-derived straggler/crash ranks depend on the world size.
+inline std::shared_ptr<const chaos::FaultPlan> chaos_from_args(
+    const util::ArgParser& args, int ranks) {
+  return chaos::plan_from_args(args, ranks);
 }
 
 /// Writes `table` to the --csv path if one was given. `tag` (e.g. the

@@ -1,0 +1,95 @@
+// The chaos subsystem's concrete fault injector (docs/chaos.md).
+//
+// A FaultPlan is a pure function from a FaultSpec (seed + rate knobs) to
+// fault decisions: every per-message decision hashes (seed, source, dest,
+// tag, sequence number, attempt), so it depends only on *which* message
+// is being transmitted, never on wall-clock time or thread interleaving.
+// Two runs with the same spec and world size inject the same faults on
+// the same messages — which is what makes a failing chaos seed replayable
+// bit-for-bit from its JSON replay file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tricount/mpisim/fault.hpp"
+#include "tricount/obs/json.hpp"
+
+namespace tricount::chaos {
+
+/// Everything that defines a chaos campaign run. Saved/loaded as the JSON
+/// replay file (schema tricount.chaos.v1); equality is field-for-field.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+
+  /// Per-transmission-attempt fault probabilities in [0, 1]. drop wins
+  /// over the others; the rest are drawn independently.
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double delay_rate = 0.0;
+  /// Modeled extra latency attached to each delayed message.
+  double delay_seconds = 2e-5;
+
+  /// Compute slowdown of the straggler rank (1 = no straggler).
+  double straggler_factor = 1.0;
+  /// Which rank straggles; -1 derives it from the seed and world size.
+  int straggler_rank = -1;
+
+  /// Superstep at which one rank fail-restarts once; -1 = no crash.
+  int crash_superstep = -1;
+  /// Which rank crashes; -1 derives it from the seed and world size.
+  int crash_rank = -1;
+
+  /// Reliable-delivery protocol knobs (FaultInjector defaults overridden).
+  int max_retries = 50;
+  double retry_timeout_seconds = 0.01;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// A FaultSpec bound to a world size (which resolves the seed-derived
+/// straggler/crash rank choices), usable as a mpisim::FaultInjector.
+class FaultPlan : public mpisim::FaultInjector {
+ public:
+  FaultPlan(const FaultSpec& spec, int world_size);
+
+  const FaultSpec& spec() const { return spec_; }
+  int world_size() const { return world_size_; }
+  /// The resolved crash rank (-1 when the spec schedules no crash).
+  int crash_rank() const { return crash_rank_; }
+  /// The resolved straggler rank (-1 when straggler_factor <= 1).
+  int straggler_rank() const { return straggler_rank_; }
+
+  // --- mpisim::FaultInjector --------------------------------------------
+  mpisim::FaultAction on_message(int source, int dest, int tag,
+                                 std::uint64_t seq,
+                                 int attempt) const override;
+  double straggler_factor(int rank) const override;
+  int crash_superstep(int rank) const override;
+  int max_retries() const override { return spec_.max_retries; }
+  double retry_timeout_seconds() const override {
+    return spec_.retry_timeout_seconds;
+  }
+
+ private:
+  /// Uniform [0, 1) draw, a pure hash of the spec seed and the arguments.
+  double draw(std::uint64_t salt, int source, int dest, int tag,
+              std::uint64_t seq, int attempt) const;
+
+  FaultSpec spec_;
+  int world_size_ = 0;
+  int crash_rank_ = -1;
+  int straggler_rank_ = -1;
+};
+
+// --- replay files ---------------------------------------------------------
+
+obs::json::Value spec_to_json(const FaultSpec& spec);
+/// Throws std::runtime_error on a wrong schema or malformed fields.
+FaultSpec spec_from_json(const obs::json::Value& value);
+
+void save_replay(const FaultSpec& spec, const std::string& path);
+FaultSpec load_replay(const std::string& path);
+
+}  // namespace tricount::chaos

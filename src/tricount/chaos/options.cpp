@@ -1,0 +1,83 @@
+#include "tricount/chaos/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tricount::chaos {
+
+void add_chaos_options(util::ArgParser& args) {
+  args.add_option("chaos-seed", "",
+                  "arm fault injection with this seed (empty = chaos off; "
+                  "rate knobs below are inert without it)");
+  args.add_option("chaos-drop", "0.02",
+                  "per-transmission drop probability");
+  args.add_option("chaos-dup", "0.02",
+                  "per-transmission duplication probability");
+  args.add_option("chaos-reorder", "0.05",
+                  "per-transmission reorder probability");
+  args.add_option("chaos-delay", "0.02",
+                  "per-transmission modeled-delay probability");
+  args.add_option("chaos-delay-seconds", "2e-5",
+                  "modeled latency added to each delayed message");
+  args.add_option("chaos-straggler", "1.0",
+                  "compute slowdown factor of one straggler rank (1 = none)");
+  args.add_option("chaos-straggler-rank", "-1",
+                  "straggler rank (-1 = derive from seed)");
+  args.add_option("chaos-crash", "-1",
+                  "superstep at which one rank fail-restarts (-1 = none)");
+  args.add_option("chaos-crash-rank", "-1",
+                  "crashing rank (-1 = derive from seed)");
+  args.add_option("chaos-retries", "50",
+                  "reliable-delivery retransmit budget per message");
+  args.add_option("chaos-timeout", "0.01",
+                  "reliable-delivery retransmit timeout in seconds");
+  args.add_option("chaos-replay", "",
+                  "load the full fault spec from this tricount.chaos.v1 "
+                  "replay file (overrides the other --chaos-* options)");
+  args.add_option("chaos-replay-out", "",
+                  "save the effective fault spec as a replay file here");
+}
+
+FaultSpec spec_from_args(const util::ArgParser& args, bool& enabled) {
+  const std::string replay = args.get("chaos-replay");
+  if (!replay.empty()) {
+    enabled = true;
+    return load_replay(replay);
+  }
+  const std::string seed = args.get("chaos-seed");
+  enabled = !seed.empty();
+  FaultSpec spec;
+  if (!enabled) return spec;
+  spec.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  spec.drop_rate = args.get_double("chaos-drop");
+  spec.duplicate_rate = args.get_double("chaos-dup");
+  spec.reorder_rate = args.get_double("chaos-reorder");
+  spec.delay_rate = args.get_double("chaos-delay");
+  spec.delay_seconds = args.get_double("chaos-delay-seconds");
+  spec.straggler_factor = args.get_double("chaos-straggler");
+  spec.straggler_rank = static_cast<int>(args.get_int("chaos-straggler-rank"));
+  spec.crash_superstep = static_cast<int>(args.get_int("chaos-crash"));
+  spec.crash_rank = static_cast<int>(args.get_int("chaos-crash-rank"));
+  spec.max_retries = static_cast<int>(args.get_int("chaos-retries"));
+  spec.retry_timeout_seconds = args.get_double("chaos-timeout");
+  if (spec.max_retries < 1) {
+    throw std::runtime_error("--chaos-retries must be >= 1");
+  }
+  if (spec.retry_timeout_seconds <= 0.0) {
+    throw std::runtime_error("--chaos-timeout must be > 0");
+  }
+  return spec;
+}
+
+std::shared_ptr<const FaultPlan> plan_from_args(const util::ArgParser& args,
+                                                int world_size) {
+  bool enabled = false;
+  const FaultSpec spec = spec_from_args(args, enabled);
+  if (!enabled) return nullptr;
+  const std::string out = args.get("chaos-replay-out");
+  if (!out.empty()) save_replay(spec, out);
+  return std::make_shared<const FaultPlan>(spec, world_size);
+}
+
+}  // namespace tricount::chaos

@@ -1,0 +1,29 @@
+// Shared --chaos-* command-line wiring for the CLI and the benches.
+//
+// Chaos is armed only by --chaos-seed or --chaos-replay; the rate knobs
+// alone leave the injector off entirely (null plan), so default runs keep
+// the bit-identical buffered fast path. See docs/chaos.md.
+#pragma once
+
+#include <memory>
+
+#include "tricount/chaos/fault_plan.hpp"
+#include "tricount/util/argparse.hpp"
+
+namespace tricount::chaos {
+
+/// Registers the --chaos-* options on `args`.
+void add_chaos_options(util::ArgParser& args);
+
+/// Builds the fault plan the parsed options describe, bound to
+/// `world_size`, or nullptr when chaos is off (no --chaos-seed and no
+/// --chaos-replay). Writes the resolved spec to --chaos-replay-out when
+/// that option was given. Throws std::runtime_error on a bad replay file.
+std::shared_ptr<const FaultPlan> plan_from_args(const util::ArgParser& args,
+                                                int world_size);
+
+/// The spec the options describe, independent of world size; `enabled` is
+/// false when neither --chaos-seed nor --chaos-replay was given.
+FaultSpec spec_from_args(const util::ArgParser& args, bool& enabled);
+
+}  // namespace tricount::chaos

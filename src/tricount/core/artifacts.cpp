@@ -171,6 +171,27 @@ obs::Snapshot build_run_snapshot(const RunResult& result) {
     }
   }
 
+  // Chaos tallies appear only on chaos runs, so fault-free artifacts stay
+  // byte-comparable to pre-chaos baselines (tests/perf_gate.cmake).
+  if (result.chaos_enabled) {
+    const mpisim::ChaosCounters chaos = result.total_chaos();
+    registry.counter("chaos.drops_injected").set(chaos.drops_injected);
+    registry.counter("chaos.duplicates_injected").set(chaos.duplicates_injected);
+    registry.counter("chaos.reorders_injected").set(chaos.reorders_injected);
+    registry.counter("chaos.delays_injected").set(chaos.delays_injected);
+    registry.gauge("chaos.delay_modeled_seconds").set(chaos.delay_modeled_seconds);
+    registry.counter("chaos.acks_sent").set(chaos.acks_sent);
+    registry.counter("chaos.retransmits").set(chaos.retransmits);
+    registry.counter("chaos.duplicates_discarded").set(chaos.duplicates_discarded);
+    registry.counter("chaos.out_of_order_stashed").set(chaos.out_of_order_stashed);
+    registry.counter("chaos.crashes").set(chaos.crashes);
+    registry.counter("chaos.recoveries").set(chaos.recoveries);
+    registry.gauge("chaos.recovery_seconds").set(chaos.recovery_seconds);
+    registry.counter("chaos.straggler_steps").set(chaos.straggler_steps);
+    registry.gauge("chaos.straggler_injected_seconds")
+        .set(chaos.straggler_injected_seconds);
+  }
+
   return registry.snapshot();
 }
 

@@ -16,7 +16,8 @@ std::string Config::describe() const {
      << " doubly_sparse=" << (doubly_sparse ? "on" : "off")
      << " modified_hashing=" << (modified_hashing ? "on" : "off")
      << " backward_early_exit=" << (backward_early_exit ? "on" : "off")
-     << " blob_comm=" << (blob_comm ? "on" : "off");
+     << " blob_comm=" << (blob_comm ? "on" : "off")
+     << " checkpoint=" << (checkpoint ? "on" : "off");
   return os.str();
 }
 

@@ -46,6 +46,12 @@ struct Config {
   /// block as one contiguous blob instead of per-array messages.
   bool blob_comm = true;
 
+  /// Checkpoint the U/L/task blocks and partial count at every counting
+  /// superstep, whether or not a crash is scheduled (docs/chaos.md). A
+  /// scheduled chaos crash forces checkpointing on the crashing rank; this
+  /// knob measures the checkpoint overhead on healthy runs.
+  bool checkpoint = false;
+
   std::string describe() const;
 };
 

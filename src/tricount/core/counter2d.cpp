@@ -1,9 +1,13 @@
 #include "tricount/core/counter2d.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 #include "tricount/mpisim/collectives.hpp"
+#include "tricount/mpisim/runtime.hpp"
 #include "tricount/obs/trace.hpp"
+#include "tricount/util/time.hpp"
 
 namespace tricount::core {
 
@@ -95,14 +99,74 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
       {blocks.ublock.max_row_degree(), std::size_t{16}}));
   scratch.reset_probes();
 
+  // Chaos schedule for this rank (docs/chaos.md): a scheduled fail-restart
+  // forces superstep checkpointing so the crashed superstep can be
+  // re-executed from the blocks as they were when it started.
+  mpisim::World& world = comm.world();
+  const mpisim::FaultInjector* injector = world.fault_injector();
+  const int rank = comm.rank();
+  const int crash_step =
+      injector != nullptr ? injector->crash_superstep(rank) : -1;
+  const double straggler =
+      injector != nullptr ? injector->straggler_factor(rank) : 1.0;
+  const bool checkpointing = config.checkpoint || crash_step >= 0;
+
+  /// Everything the fail-restart model loses: the three blocks plus the
+  /// partial count and kernel tallies accumulated before this superstep.
+  struct Checkpoint {
+    std::vector<std::byte> ublock;
+    std::vector<std::byte> lblock;
+    std::vector<std::byte> tasks;
+    TriangleCount local_triangles = 0;
+    KernelCounters kernel;
+    std::uint64_t lookups_before = 0;
+  };
+  Checkpoint ckpt;
+
   PhaseTracker tracker(comm);
   std::uint64_t lookups_before = 0;
   for (int s = 0; s < q; ++s) {
+    if (checkpointing) {
+      obs::ScopedSpan span("checkpoint", "chaos");
+      ckpt.ublock = blocks.ublock.to_blob();
+      ckpt.lblock = blocks.lblock.to_blob();
+      ckpt.tasks = blocks.tasks.to_blob();
+      ckpt.local_triangles = out.local_triangles;
+      ckpt.kernel = out.kernel;
+      ckpt.lookups_before = lookups_before;
+    }
     {
       obs::ScopedSpan span("intersect", "tc");
       out.local_triangles += intersect_blocks(blocks.tasks, blocks.ublock,
                                               blocks.lblock, config, scratch,
                                               out.kernel);
+    }
+    if (s == crash_step) {
+      // One-shot fail-restart: this rank loses the superstep's results,
+      // restores the checkpoint, and re-executes the intersection. The
+      // shifts have not happened yet, so peers are unaffected; the
+      // recovery cost lands in this rank's compute sample (and the
+      // modeled max-over-ranks superstep time).
+      mpisim::ChaosCounters& cc = world.chaos_counters(rank);
+      cc.crashes += 1;
+      if (obs::Tracer* tracer = obs::Tracer::current()) {
+        tracer->instant("chaos.crash", "chaos");
+      }
+      const double t0 = util::thread_cpu_seconds();
+      {
+        obs::ScopedSpan span("recover", "chaos");
+        blocks.ublock = BlockCsr::from_blob(ckpt.ublock);
+        blocks.lblock = BlockCsr::from_blob(ckpt.lblock);
+        blocks.tasks = BlockCsr::from_blob(ckpt.tasks);
+        out.local_triangles = ckpt.local_triangles;
+        out.kernel = ckpt.kernel;
+        lookups_before = ckpt.lookups_before;
+        out.local_triangles += intersect_blocks(blocks.tasks, blocks.ublock,
+                                                blocks.lblock, config, scratch,
+                                                out.kernel);
+      }
+      cc.recoveries += 1;
+      cc.recovery_seconds += util::thread_cpu_seconds() - t0;
     }
     if (s + 1 < q) {
       // U one column left, L one row up (paper §5.1). Buffered sendrecv
@@ -116,6 +180,15 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
                       kTagLBlock, kTagLArrays, config.blob_comm);
     }
     PhaseSample sample = tracker.cut();
+    if (straggler > 1.0) {
+      // Modeled slowdown: inflate the compute reading the α–β model sees;
+      // the injected share is tallied so reports can subtract it.
+      mpisim::ChaosCounters& cc = world.chaos_counters(rank);
+      cc.straggler_steps += 1;
+      cc.straggler_injected_seconds +=
+          (straggler - 1.0) * sample.compute_cpu_seconds;
+      sample.compute_cpu_seconds *= straggler;
+    }
     sample.ops = out.kernel.lookups - lookups_before;
     lookups_before = out.kernel.lookups;
     out.shifts.push_back(sample);

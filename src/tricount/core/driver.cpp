@@ -24,6 +24,11 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
   result.model = options.model;
   result.per_rank.assign(static_cast<std::size_t>(ranks), RankStats{});
 
+  mpisim::WorldOptions world_options;
+  world_options.fault_injector = options.chaos.get();
+  world_options.watchdog_seconds = options.watchdog_seconds;
+  result.chaos_enabled = options.chaos != nullptr;
+
   mpisim::WorldReport report = mpisim::run_world_report(ranks, [&](mpisim::Comm& comm) {
     mpisim::Cart2D grid(comm);
     const LocalSlice input = make_slice(comm);
@@ -46,10 +51,11 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
       result.num_vertices = pre.num_vertices;
       result.num_edges = pre.num_edges;
     }
-  });
+  }, world_options);
 
   result.per_rank_counters = std::move(report.counters);
   result.comm_matrix = std::move(report.comm_matrix);
+  result.per_rank_chaos = std::move(report.chaos);
 
   for (const auto& [name, sample] : result.per_rank[0].pre_steps) {
     result.step_names.push_back(name);
@@ -122,6 +128,12 @@ std::uint64_t RunResult::pre_ops() const {
 std::uint64_t RunResult::tc_ops() const {
   std::uint64_t total = 0;
   for (const RankStats& stats : per_rank) total += stats.tc_total().ops;
+  return total;
+}
+
+mpisim::ChaosCounters RunResult::total_chaos() const {
+  mpisim::ChaosCounters total;
+  for (const mpisim::ChaosCounters& c : per_rank_chaos) total += c;
   return total;
 }
 

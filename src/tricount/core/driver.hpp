@@ -10,6 +10,7 @@
 //   std::cout << result.total_modeled_seconds() << "\n";
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "tricount/core/instrumentation.hpp"
 #include "tricount/graph/edge_list.hpp"
 #include "tricount/graph/generators.hpp"
+#include "tricount/mpisim/fault.hpp"
 #include "tricount/util/cost_model.hpp"
 
 namespace tricount::core {
@@ -27,6 +29,11 @@ struct RunOptions {
   util::AlphaBetaModel model;
   /// Check block structural invariants after preprocessing (tests).
   bool validate_blocks = false;
+  /// Fault injector for the run (chaos subsystem, docs/chaos.md); null
+  /// keeps the fault-free fast path bit-identical to pre-chaos builds.
+  std::shared_ptr<const mpisim::FaultInjector> chaos;
+  /// Hang-watchdog budget forwarded to mpisim (0 = auto, <0 = off).
+  double watchdog_seconds = 0.0;
 };
 
 struct RunResult {
@@ -43,6 +50,12 @@ struct RunResult {
   std::vector<mpisim::PerfCounters> per_rank_counters;
   /// The p×p (source, dest) traffic matrix recorded by mpisim.
   mpisim::CommMatrix comm_matrix;
+  /// True when a fault injector was installed for this run.
+  bool chaos_enabled = false;
+  /// Per-rank chaos tallies (all zero unless chaos_enabled).
+  std::vector<mpisim::ChaosCounters> per_rank_chaos;
+
+  mpisim::ChaosCounters total_chaos() const;
 
   // --- derived metrics (see instrumentation.hpp for the model) ----------
 

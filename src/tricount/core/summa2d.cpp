@@ -8,6 +8,8 @@
 #include "tricount/core/preprocess.hpp"
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/trace.hpp"
+#include "tricount/util/time.hpp"
 
 namespace tricount::core {
 
@@ -128,6 +130,12 @@ BlockCsr panel_bcast(mpisim::Comm& comm, const BlockCsr* own,
 
 }  // namespace
 
+mpisim::ChaosCounters SummaResult::total_chaos() const {
+  mpisim::ChaosCounters total;
+  for (const mpisim::ChaosCounters& c : per_rank_chaos) total += c;
+  return total;
+}
+
 SummaResult count_triangles_summa(const graph::EdgeList& graph,
                                   const SummaOptions& options) {
   const int qr = options.grid_rows;
@@ -150,10 +158,23 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
   std::vector<KernelCounters> kernels(static_cast<std::size_t>(p));
   graph::TriangleCount triangles = 0;
 
-  mpisim::run_world(p, [&](mpisim::Comm& comm) {
+  mpisim::WorldOptions world_options;
+  world_options.fault_injector = options.chaos.get();
+  world_options.watchdog_seconds = options.watchdog_seconds;
+  result.chaos_enabled = options.chaos != nullptr;
+
+  mpisim::WorldReport report = mpisim::run_world_report(p, [&](mpisim::Comm& comm) {
     const int x = comm.rank() / qc;
     const int y = comm.rank() % qc;
     PhaseTracker tracker(comm);
+
+    // Chaos schedule for this rank; mirrors cannon_count (docs/chaos.md).
+    const mpisim::FaultInjector* injector = comm.world().fault_injector();
+    const int crash_step =
+        injector != nullptr ? injector->crash_superstep(comm.rank()) : -1;
+    const double straggler =
+        injector != nullptr ? injector->straggler_factor(comm.rank()) : 1.0;
+    const bool checkpointing = options.config.checkpoint || crash_step >= 0;
 
     const LocalSlice input =
         block_slice_from_edges(graph, comm.rank(), comm.size());
@@ -172,8 +193,27 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
     KernelCounters kernel;
     graph::TriangleCount local = 0;
     std::uint64_t lookups_before = 0;
+
+    /// The fail-restart checkpoint: the task block plus the partial count
+    /// and kernel tallies accumulated before this panel step. The U/L
+    /// panels are re-received per step, so only tasks need a blob.
+    struct Checkpoint {
+      std::vector<std::byte> tasks;
+      graph::TriangleCount local = 0;
+      KernelCounters kernel;
+      std::uint64_t lookups_before = 0;
+    };
+    Checkpoint ckpt;
+
     auto& steps = step_samples[static_cast<std::size_t>(comm.rank())];
     for (int z = 0; z < K; ++z) {
+      if (checkpointing) {
+        obs::ScopedSpan span("checkpoint", "chaos");
+        ckpt.tasks = blocks.tasks.to_blob();
+        ckpt.local = local;
+        ckpt.kernel = kernel;
+        ckpt.lookups_before = lookups_before;
+      }
       const int u_owner = x * qc + (z % qc);
       const BlockCsr* own_u =
           comm.rank() == u_owner
@@ -188,7 +228,37 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
       const BlockCsr lz = panel_bcast(comm, own_l, z % qr, col_members);
       local += intersect_blocks(blocks.tasks, uz, lz, options.config, scratch,
                                 kernel);
+      if (z == crash_step) {
+        // One-shot fail-restart, as in cannon_count: restore the
+        // checkpoint and re-execute the step against the already-received
+        // panels. Broadcasts for step z are complete, so peers never see
+        // the crash.
+        mpisim::ChaosCounters& cc = comm.world().chaos_counters(comm.rank());
+        cc.crashes += 1;
+        if (obs::Tracer* tracer = obs::Tracer::current()) {
+          tracer->instant("chaos.crash", "chaos");
+        }
+        const double t0 = util::thread_cpu_seconds();
+        {
+          obs::ScopedSpan span("recover", "chaos");
+          blocks.tasks = BlockCsr::from_blob(ckpt.tasks);
+          local = ckpt.local;
+          kernel = ckpt.kernel;
+          lookups_before = ckpt.lookups_before;
+          local += intersect_blocks(blocks.tasks, uz, lz, options.config,
+                                    scratch, kernel);
+        }
+        cc.recoveries += 1;
+        cc.recovery_seconds += util::thread_cpu_seconds() - t0;
+      }
       PhaseSample s = tracker.cut();
+      if (straggler > 1.0) {
+        mpisim::ChaosCounters& cc = comm.world().chaos_counters(comm.rank());
+        cc.straggler_steps += 1;
+        cc.straggler_injected_seconds +=
+            (straggler - 1.0) * s.compute_cpu_seconds;
+        s.compute_cpu_seconds *= straggler;
+      }
       s.ops = kernel.lookups - lookups_before;
       lookups_before = kernel.lookups;
       steps.push_back(s);
@@ -198,8 +268,9 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
 
     const graph::TriangleCount total = mpisim::allreduce_sum(comm, local);
     if (comm.rank() == 0) triangles = total;
-  });
+  }, world_options);
 
+  result.per_rank_chaos = std::move(report.chaos);
   result.triangles = triangles;
   result.pre_modeled_seconds =
       breakdown(pre_samples).modeled_seconds(options.model);

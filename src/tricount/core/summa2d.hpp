@@ -16,9 +16,13 @@
 // broadcasts instead of shifts.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "tricount/core/config.hpp"
 #include "tricount/core/instrumentation.hpp"
 #include "tricount/graph/edge_list.hpp"
+#include "tricount/mpisim/fault.hpp"
 #include "tricount/util/cost_model.hpp"
 
 namespace tricount::core {
@@ -28,6 +32,11 @@ struct SummaOptions {
   int grid_cols = 2;
   Config config;
   util::AlphaBetaModel model;
+  /// Fault injector for the run (chaos subsystem, docs/chaos.md); null
+  /// keeps the fault-free fast path.
+  std::shared_ptr<const mpisim::FaultInjector> chaos;
+  /// Hang-watchdog budget forwarded to mpisim (0 = auto, <0 = off).
+  double watchdog_seconds = 0.0;
 };
 
 struct SummaResult {
@@ -40,6 +49,12 @@ struct SummaResult {
   double pre_modeled_seconds = 0.0;
   double tc_modeled_seconds = 0.0;
   KernelCounters kernel;  ///< summed over ranks
+  /// True when a fault injector was installed for this run.
+  bool chaos_enabled = false;
+  /// Per-rank chaos tallies (all zero unless chaos_enabled).
+  std::vector<mpisim::ChaosCounters> per_rank_chaos;
+
+  mpisim::ChaosCounters total_chaos() const;
 
   double total_modeled_seconds() const {
     return pre_modeled_seconds + tc_modeled_seconds;

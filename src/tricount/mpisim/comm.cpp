@@ -1,11 +1,40 @@
 #include "tricount/mpisim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
 
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
 
 namespace tricount::mpisim {
+
+namespace {
+
+/// How long a reliable receive waits on the mailbox before coming back up
+/// to drain acks and retransmit — the protocol's reaction latency.
+constexpr double kReliablePollSeconds = 2e-4;
+
+/// How many later pushes a delayed message hides behind (the deferral in
+/// Mailbox::push_deferred). Small and fixed: the visible effect is the
+/// reordering; the modeled latency is carried by the chaos counters.
+constexpr int kDelayHoldPushes = 2;
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void chaos_trace_instant(const char* name) {
+  if (obs::Tracer* tracer = obs::Tracer::current()) {
+    tracer->instant(name, "chaos");
+  }
+}
+
+}  // namespace
 
 PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
   messages_sent += other.messages_sent;
@@ -73,35 +102,45 @@ int Comm::next_collective_tag() {
   return tag;
 }
 
+void Comm::count_send(int dest, int tag, std::size_t bytes) {
+  PerfCounters& c = counters();
+  c.messages_sent += 1;
+  c.bytes_sent += bytes;
+  CommCell& cell = world_.comm_matrix().at(rank_, dest);
+  if (is_collective_tag(tag)) {
+    c.collective_messages_sent += 1;
+    c.collective_bytes_sent += bytes;
+    cell.collective_messages += 1;
+    cell.collective_bytes += bytes;
+  } else {
+    cell.user_messages += 1;
+    cell.user_bytes += bytes;
+  }
+}
+
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   if (dest < 0 || dest >= size()) {
     throw std::invalid_argument("mpisim: send to invalid rank");
   }
   const double t0 = util::thread_cpu_seconds();
-  Message m;
-  m.source = rank_;
-  m.tag = tag;
-  m.payload.assign(payload.begin(), payload.end());
-  world_.mailbox(dest).push(std::move(m));
-  PerfCounters& c = counters();
-  c.messages_sent += 1;
-  c.bytes_sent += payload.size();
-  CommCell& cell = world_.comm_matrix().at(rank_, dest);
-  if (is_collective_tag(tag)) {
-    c.collective_messages_sent += 1;
-    c.collective_bytes_sent += payload.size();
-    cell.collective_messages += 1;
-    cell.collective_bytes += payload.size();
+  if (world_.fault_injector() != nullptr) {
+    reliable_send(dest, tag, payload);
   } else {
-    cell.user_messages += 1;
-    cell.user_bytes += payload.size();
+    Message m;
+    m.source = rank_;
+    m.tag = tag;
+    m.payload.assign(payload.begin(), payload.end());
+    world_.mailbox(dest).push(std::move(m));
+    count_send(dest, tag, payload.size());
   }
-  c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
+  counters().comm_cpu_seconds += util::thread_cpu_seconds() - t0;
 }
 
 Message Comm::recv_message(int source, int tag) {
   const double t0 = util::thread_cpu_seconds();
-  Message m = world_.mailbox(rank_).pop(source, tag);
+  Message m = world_.fault_injector() != nullptr
+                  ? reliable_recv(source, tag)
+                  : world_.mailbox(rank_).pop(source, tag);
   PerfCounters& c = counters();
   c.messages_received += 1;
   c.bytes_received += m.payload.size();
@@ -113,6 +152,159 @@ Message Comm::recv_message(int source, int tag) {
   return m;
 }
 
+// ---------------------------------------------------------------------------
+// Reliable delivery (chaos runs)
+
+void Comm::reliable_send(int dest, int tag,
+                         std::span<const std::byte> payload) {
+  service_reliable();
+  const std::uint64_t seq = ++send_seq_[{dest, tag}];
+  unacked_.push_back(PendingSend{
+      dest,
+      tag,
+      seq,
+      std::vector<std::byte>(payload.begin(), payload.end()),
+      steady_seconds() + world_.fault_injector()->retry_timeout_seconds(),
+      1});
+  transmit(unacked_.back());
+}
+
+void Comm::transmit(const PendingSend& p) {
+  const FaultInjector& injector = *world_.fault_injector();
+  const FaultAction action =
+      injector.on_message(rank_, p.dest, p.tag, p.seq, p.attempts);
+  ChaosCounters& cc = world_.chaos_counters(rank_);
+  // Every wire attempt counts as sent traffic, retransmissions included:
+  // the α–β model should see the protocol's real cost under faults.
+  count_send(p.dest, p.tag, p.payload.size());
+
+  if (action.drop) {
+    cc.drops_injected += 1;
+    chaos_trace_instant("chaos.drop");
+    return;
+  }
+  Message m;
+  m.source = rank_;
+  m.tag = p.tag;
+  m.kind = MsgKind::kData;
+  m.seq = p.seq;
+  m.payload = p.payload;
+  Mailbox& mb = world_.mailbox(p.dest);
+  if (action.delay_seconds > 0.0) {
+    cc.delays_injected += 1;
+    cc.delay_modeled_seconds += action.delay_seconds;
+    chaos_trace_instant("chaos.delay");
+    mb.push_deferred(std::move(m), kDelayHoldPushes);
+  } else if (action.reorder) {
+    cc.reorders_injected += 1;
+    chaos_trace_instant("chaos.reorder");
+    mb.push_front(std::move(m));
+  } else {
+    mb.push(std::move(m));
+  }
+  if (action.duplicate) {
+    cc.duplicates_injected += 1;
+    chaos_trace_instant("chaos.duplicate");
+    Message copy;
+    copy.source = rank_;
+    copy.tag = p.tag;
+    copy.kind = MsgKind::kData;
+    copy.seq = p.seq;
+    copy.payload = p.payload;
+    mb.push(std::move(copy));
+  }
+}
+
+void Comm::service_reliable() {
+  Mailbox& mb = world_.mailbox(rank_);
+  Message ack;
+  while (mb.try_pop_ack(ack)) {
+    unacked_.remove_if([&](const PendingSend& p) {
+      return p.dest == ack.source && p.tag == ack.tag && p.seq == ack.seq;
+    });
+  }
+  if (unacked_.empty()) return;
+  const FaultInjector& injector = *world_.fault_injector();
+  const double now = steady_seconds();
+  for (PendingSend& p : unacked_) {
+    if (now < p.deadline) continue;
+    if (p.attempts >= injector.max_retries()) {
+      std::ostringstream what;
+      what << "chaos: message to rank " << p.dest << " (tag " << p.tag
+           << ", seq " << p.seq << ", " << p.payload.size()
+           << " bytes) unacknowledged after " << p.attempts << " attempts";
+      throw ChaosError(ChaosError::Kind::kRetransmitTimeout, what.str());
+    }
+    p.attempts += 1;
+    p.deadline = now + injector.retry_timeout_seconds();
+    world_.chaos_counters(rank_).retransmits += 1;
+    transmit(p);
+  }
+}
+
+void Comm::send_ack(const Message& received) {
+  // Acks ride the control plane: pushed directly, never faulted and never
+  // counted as traffic. Faulting acks could strand a retransmission after
+  // the receiving rank has exited (it would never re-ack); data-plane
+  // faults already exercise every protocol path.
+  Message ack;
+  ack.source = rank_;
+  ack.tag = received.tag;
+  ack.kind = MsgKind::kAck;
+  ack.seq = received.seq;
+  world_.mailbox(received.source).push(std::move(ack));
+  world_.chaos_counters(rank_).acks_sent += 1;
+}
+
+bool Comm::take_from_stash(int source, int tag, Message& out) {
+  for (auto& [key, channel] : recv_channels_) {
+    if (source != kAnySource && key.first != source) continue;
+    if (tag != kAnyTag && key.second != tag) continue;
+    const auto it = channel.stash.find(channel.next_seq);
+    if (it == channel.stash.end()) continue;
+    out = std::move(it->second);
+    channel.stash.erase(it);
+    channel.next_seq += 1;
+    return true;
+  }
+  return false;
+}
+
+Message Comm::reliable_recv(int source, int tag) {
+  Mailbox& mb = world_.mailbox(rank_);
+  ChaosCounters& cc = world_.chaos_counters(rank_);
+  for (;;) {
+    service_reliable();
+    Message m;
+    if (take_from_stash(source, tag, m)) return m;
+    if (!mb.pop_for(source, tag, kReliablePollSeconds, m)) continue;
+    // Ack every received copy — the sender may be retransmitting because
+    // an earlier copy's ack raced its timeout.
+    send_ack(m);
+    RecvChannel& channel = recv_channels_[{m.source, m.tag}];
+    if (m.seq < channel.next_seq || channel.stash.count(m.seq) != 0) {
+      cc.duplicates_discarded += 1;
+      continue;
+    }
+    if (m.seq == channel.next_seq) {
+      channel.next_seq += 1;
+      return m;
+    }
+    cc.out_of_order_stashed += 1;
+    channel.stash.emplace(m.seq, std::move(m));
+  }
+}
+
+void Comm::flush_sends() {
+  if (world_.fault_injector() == nullptr) return;
+  while (!unacked_.empty()) {
+    service_reliable();
+    if (unacked_.empty()) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kReliablePollSeconds));
+  }
+}
+
 Message Comm::sendrecv_bytes(int dest, int send_tag,
                              std::span<const std::byte> payload, int source,
                              int recv_tag) {
@@ -121,6 +313,14 @@ Message Comm::sendrecv_bytes(int dest, int send_tag,
 }
 
 bool Comm::iprobe(int source, int tag) {
+  if (world_.fault_injector() != nullptr) {
+    service_reliable();
+    for (const auto& [key, channel] : recv_channels_) {
+      if (source != kAnySource && key.first != source) continue;
+      if (tag != kAnyTag && key.second != tag) continue;
+      if (channel.stash.count(channel.next_seq) != 0) return true;
+    }
+  }
   return world_.mailbox(rank_).probe(source, tag);
 }
 

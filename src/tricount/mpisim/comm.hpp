@@ -6,11 +6,23 @@
 // Sends are buffered (the payload is copied into the destination mailbox
 // and the call returns immediately), which corresponds to MPI_Bsend
 // semantics and makes shift patterns like Cannon's trivially deadlock-free.
+// With a FaultInjector installed on the World (chaos subsystem), the
+// buffered fast path is replaced by reliable delivery: every (source,
+// dest, tag) channel is sequence-numbered, receivers ack each data copy,
+// discard duplicates, and re-order overtaken messages, while senders
+// retransmit unacknowledged messages on a timeout — bounded by
+// FaultInjector::max_retries(), after which a typed ChaosError is thrown.
+// Sends stay non-blocking either way, preserving MPI_Bsend deadlock
+// freedom. See docs/chaos.md.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <list>
+#include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "tricount/mpisim/mailbox.hpp"
@@ -43,6 +55,11 @@ class Comm {
 
   /// Non-blocking probe for a matching message.
   bool iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  /// Reliable-delivery quiesce: blocks until every send this rank issued
+  /// has been acknowledged, retransmitting as needed. Called by run_world
+  /// when the rank function returns; a no-op without a fault injector.
+  void flush_sends();
 
   // --- typed convenience wrappers ---------------------------------------
 
@@ -118,9 +135,44 @@ class Comm {
   }
 
  private:
+  // --- reliable delivery (active only when a FaultInjector is installed)
+
+  /// A sent-but-unacknowledged message, kept for retransmission. The
+  /// payload copy is the price of surviving drops.
+  struct PendingSend {
+    int dest = 0;
+    int tag = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::byte> payload;
+    double deadline = 0.0;  // steady-clock seconds of the next retransmit
+    int attempts = 0;
+  };
+
+  /// Receiver-side state of one (peer, tag) channel: the next in-order
+  /// sequence number and the stash of messages that overtook it.
+  struct RecvChannel {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Message> stash;
+  };
+
+  void reliable_send(int dest, int tag, std::span<const std::byte> payload);
+  Message reliable_recv(int source, int tag);
+  /// Puts one attempt of `p` on the wire, applying the injected fault.
+  void transmit(const PendingSend& p);
+  /// Drains acks and retransmits overdue sends; throws ChaosError once a
+  /// message exhausts its retry budget.
+  void service_reliable();
+  void send_ack(const Message& received);
+  /// Delivers the next in-order stashed message matching (source, tag).
+  bool take_from_stash(int source, int tag, Message& out);
+  void count_send(int dest, int tag, std::size_t bytes);
+
   World& world_;
   int rank_;
   int collective_seq_ = 0;
+  std::map<std::pair<int, int>, std::uint64_t> send_seq_;
+  std::map<std::pair<int, int>, RecvChannel> recv_channels_;
+  std::list<PendingSend> unacked_;
 };
 
 }  // namespace tricount::mpisim

@@ -20,12 +20,25 @@ constexpr int kReservedTagBase = 1 << 28;
 /// use this to attribute bytes to collective-internal vs user messages.
 constexpr bool is_collective_tag(int tag) { return tag >= kReservedTagBase; }
 
+/// Envelope class: kData carries application payload and participates in
+/// tag matching; kAck is the reliable-delivery control plane (invisible
+/// to receives and probes, consumed only by the sender-side protocol in
+/// Comm). Chaos-free runs carry kData exclusively.
+enum class MsgKind : std::uint8_t { kData = 0, kAck = 1 };
+
 /// An in-flight message: envelope plus owned payload bytes. Payloads are
 /// always copied between ranks — ranks never share graph memory, which is
 /// what makes this a faithful distributed-memory model.
+///
+/// `seq` is 0 on chaos-free runs. With a FaultInjector installed, Comm
+/// numbers each (source, dest, tag) channel from 1 so the receiver can
+/// discard duplicates and re-order overtaken messages; an ack echoes the
+/// seq it acknowledges.
 struct Message {
   int source = 0;
   int tag = 0;
+  MsgKind kind = MsgKind::kData;
+  std::uint64_t seq = 0;
   std::vector<std::byte> payload;
 };
 

@@ -1,8 +1,12 @@
 #include "tricount/mpisim/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -17,8 +21,47 @@ void Mailbox::push(Message message) {
   {
     std::scoped_lock lock(mutex_);
     queue_.push_back(std::move(message));
+    // Every arrival ages the deferred messages; release the ones whose
+    // hold has expired, preserving their original relative order.
+    if (!deferred_.empty()) {
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < deferred_.size(); ++i) {
+        if (--deferred_[i].remaining <= 0) {
+          queue_.push_back(std::move(deferred_[i].message));
+        } else {
+          // keep == i would self-move, gutting the held payload.
+          if (keep != i) deferred_[keep] = std::move(deferred_[i]);
+          ++keep;
+        }
+      }
+      deferred_.resize(keep);
+    }
   }
+  note_progress();
   cv_.notify_all();
+}
+
+void Mailbox::push_front(Message message) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_front(std::move(message));
+  }
+  note_progress();
+  cv_.notify_all();
+}
+
+void Mailbox::push_deferred(Message message, int hold_pushes) {
+  {
+    std::scoped_lock lock(mutex_);
+    deferred_.push_back(Deferred{std::move(message), std::max(1, hold_pushes)});
+  }
+  // Deliberately no notify: the message is invisible until released by a
+  // later push or by a starving receiver (release_deferred_locked).
+}
+
+void Mailbox::release_deferred_locked() {
+  for (Deferred& d : deferred_) queue_.push_back(std::move(d.message));
+  deferred_.clear();
 }
 
 std::size_t Mailbox::find_locked(int source, int tag) const {
@@ -31,11 +74,22 @@ std::size_t Mailbox::find_locked(int source, int tag) const {
 Message Mailbox::pop(int source, int tag) {
   std::unique_lock lock(mutex_);
   std::size_t at = queue_.size();
+  waiting_ = true;
+  waiting_source_ = source;
+  waiting_tag_ = tag;
   cv_.wait(lock, [&] {
     if (failed_) return true;
     at = find_locked(source, tag);
+    if (at < queue_.size()) return true;
+    if (!deferred_.empty()) {
+      // Nothing deliverable but delayed messages exist: a blocked
+      // receiver outwaits any modeled delay rather than deadlocking.
+      release_deferred_locked();
+      at = find_locked(source, tag);
+    }
     return at < queue_.size();
   });
+  waiting_ = false;
   if (at >= queue_.size()) {
     throw std::runtime_error(
         "mpisim: receive aborted, a peer rank failed while this rank was "
@@ -43,7 +97,39 @@ Message Mailbox::pop(int source, int tag) {
   }
   Message m = std::move(queue_[at]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  note_progress();
   return m;
+}
+
+bool Mailbox::pop_for(int source, int tag, double timeout_seconds,
+                      Message& out) {
+  std::unique_lock lock(mutex_);
+  std::size_t at = queue_.size();
+  waiting_ = true;
+  waiting_source_ = source;
+  waiting_tag_ = tag;
+  const bool ready = cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds), [&] {
+        if (failed_) return true;
+        at = find_locked(source, tag);
+        if (at < queue_.size()) return true;
+        if (!deferred_.empty()) {
+          release_deferred_locked();
+          at = find_locked(source, tag);
+        }
+        return at < queue_.size();
+      });
+  waiting_ = false;
+  if (failed_ && at >= queue_.size()) {
+    throw std::runtime_error(
+        "mpisim: receive aborted, a peer rank failed while this rank was "
+        "blocked");
+  }
+  if (!ready || at >= queue_.size()) return false;
+  out = std::move(queue_[at]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  note_progress();
+  return true;
 }
 
 bool Mailbox::try_pop(int source, int tag, Message& out) {
@@ -52,7 +138,21 @@ bool Mailbox::try_pop(int source, int tag, Message& out) {
   if (at >= queue_.size()) return false;
   out = std::move(queue_[at]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  note_progress();
   return true;
+}
+
+bool Mailbox::try_pop_ack(Message& out) {
+  std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].kind == MsgKind::kAck) {
+      out = std::move(queue_[i]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      note_progress();
+      return true;
+    }
+  }
+  return false;
 }
 
 bool Mailbox::probe(int source, int tag) {
@@ -73,17 +173,24 @@ std::size_t Mailbox::queued() const {
   return queue_.size();
 }
 
+Mailbox::WaitInfo Mailbox::waiting_info() const {
+  std::scoped_lock lock(mutex_);
+  return WaitInfo{waiting_, waiting_source_, waiting_tag_};
+}
+
 // ---------------------------------------------------------------------------
 // World & run_world
 
-World::World(int size)
+World::World(int size, const WorldOptions& options)
     : size_(size),
       counters_(static_cast<size_t>(size)),
-      comm_matrix_(std::max(size, 0)) {
+      chaos_counters_(static_cast<size_t>(size)),
+      comm_matrix_(std::max(size, 0)),
+      fault_injector_(options.fault_injector) {
   if (size <= 0) throw std::invalid_argument("mpisim: world size must be > 0");
   mailboxes_.reserve(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(&progress_));
   }
 }
 
@@ -91,8 +198,56 @@ void World::fail_all() {
   for (auto& mb : mailboxes_) mb->fail();
 }
 
-WorldReport run_world_report(int size, const RankFn& fn) {
-  World world(size);
+namespace {
+
+/// Resolves the watchdog budget: explicit option, else environment, else
+/// on-by-default (30 s) only when a fault injector can stall the world.
+double watchdog_budget(const WorldOptions& options) {
+  if (options.watchdog_seconds > 0.0) return options.watchdog_seconds;
+  if (options.watchdog_seconds < 0.0) return 0.0;
+  if (const char* env = std::getenv("TRICOUNT_WATCHDOG_SECONDS")) {
+    const double parsed = std::strtod(env, nullptr);
+    return parsed > 0.0 ? parsed : 0.0;
+  }
+  return options.fault_injector != nullptr ? 30.0 : 0.0;
+}
+
+/// One line per rank: what it is blocked on (operation, peer, tag) and how
+/// deep its mailbox is — the actionable part of a watchdog failure.
+std::string stall_diagnostic(World& world, double budget_seconds) {
+  std::ostringstream out;
+  out << "mpisim watchdog: no rank made progress for " << budget_seconds
+      << " s; per-rank blocked state:";
+  for (int r = 0; r < world.size(); ++r) {
+    const Mailbox::WaitInfo info = world.mailbox(r).waiting_info();
+    out << "\n  rank " << r << ": ";
+    if (info.waiting) {
+      out << "blocked in recv(source=";
+      if (info.source == kAnySource) {
+        out << "any";
+      } else {
+        out << info.source;
+      }
+      out << ", tag=";
+      if (info.tag == kAnyTag) {
+        out << "any";
+      } else {
+        out << info.tag;
+      }
+      out << ")";
+    } else {
+      out << "not blocked (computing or exited)";
+    }
+    out << ", " << world.mailbox(r).queued() << " queued";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+WorldReport run_world_report(int size, const RankFn& fn,
+                             const WorldOptions& options) {
+  World world(size, options);
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
@@ -105,6 +260,9 @@ WorldReport run_world_report(int size, const RankFn& fn) {
     Comm comm(world, rank);
     try {
       fn(comm);
+      // Reliable-delivery quiesce: a rank may not return while peers still
+      // wait on its unacknowledged sends. No-op without a fault injector.
+      comm.flush_sends();
     } catch (...) {
       {
         std::scoped_lock lock(error_mutex);
@@ -114,6 +272,52 @@ WorldReport run_world_report(int size, const RankFn& fn) {
     }
     util::set_current_rank(previous_rank);
   };
+
+  const double budget = watchdog_budget(options);
+  std::thread watchdog;
+  std::mutex wd_mutex;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  // The watchdog only makes sense with real rank threads: the single-rank
+  // inline path cannot deadlock on itself without also hanging the caller.
+  if (budget > 0.0 && size > 1) {
+    watchdog = std::thread([&] {
+      using clock = std::chrono::steady_clock;
+      const auto interval = std::chrono::duration<double>(
+          std::clamp(budget / 4.0, 0.01, 0.5));
+      std::uint64_t last_progress = world.progress();
+      auto last_change = clock::now();
+      std::unique_lock lock(wd_mutex);
+      while (!wd_cv.wait_for(lock, interval, [&] { return wd_stop; })) {
+        const std::uint64_t now_progress = world.progress();
+        if (now_progress != last_progress) {
+          last_progress = now_progress;
+          last_change = clock::now();
+          continue;
+        }
+        // Only declare a stall when someone is actually blocked; a world
+        // that is purely computing is slow, not stuck.
+        bool any_waiting = false;
+        for (int r = 0; r < size; ++r) {
+          any_waiting = any_waiting || world.mailbox(r).waiting_info().waiting;
+        }
+        const double stalled =
+            std::chrono::duration<double>(clock::now() - last_change).count();
+        if (!any_waiting || stalled < budget) continue;
+        const std::string diag = stall_diagnostic(world, budget);
+        TRICOUNT_LOG_ERROR("%s", diag.c_str());
+        {
+          std::scoped_lock error_lock(error_mutex);
+          if (!first_error) {
+            first_error = std::make_exception_ptr(
+                ChaosError(ChaosError::Kind::kWatchdogStall, diag));
+          }
+        }
+        world.fail_all();
+        return;
+      }
+    });
+  }
 
   if (size == 1) {
     // Single-rank worlds run inline: cheaper, and debugger-friendly.
@@ -127,12 +331,23 @@ WorldReport run_world_report(int size, const RankFn& fn) {
     for (auto& t : threads) t.join();
   }
 
+  if (watchdog.joinable()) {
+    {
+      std::scoped_lock lock(wd_mutex);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
+
   if (first_error) std::rethrow_exception(first_error);
-  return WorldReport{world.all_counters(), std::move(world.comm_matrix())};
+  return WorldReport{world.all_counters(), std::move(world.comm_matrix()),
+                     world.all_chaos_counters()};
 }
 
-std::vector<PerfCounters> run_world(int size, const RankFn& fn) {
-  return run_world_report(size, fn).counters;
+std::vector<PerfCounters> run_world(int size, const RankFn& fn,
+                                    const WorldOptions& options) {
+  return run_world_report(size, fn, options).counters;
 }
 
 }  // namespace tricount::mpisim

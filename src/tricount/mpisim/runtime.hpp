@@ -5,21 +5,44 @@
 // If any rank throws, the world is failed (all blocked receives wake and
 // throw) and the first exception is rethrown to the caller, so a bug in
 // one rank cannot hang the whole test suite.
+//
+// Two optional services are configured through WorldOptions:
+//  * a FaultInjector (chaos subsystem, docs/chaos.md) interposed on every
+//    point-to-point transmission, and
+//  * a hang watchdog that fails the world with a per-rank blocked-state
+//    diagnostic when no rank makes progress for a configurable wall-time,
+//    instead of letting a deadlock hang ctest forever.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "tricount/mpisim/comm.hpp"
+#include "tricount/mpisim/fault.hpp"
 #include "tricount/mpisim/mailbox.hpp"
 
 namespace tricount::mpisim {
 
+struct WorldOptions {
+  /// When non-null, every point-to-point transmission consults it and the
+  /// Comm layer switches to sequenced, acked, retransmitting delivery.
+  /// Not owned; must outlive the run_world call.
+  const FaultInjector* fault_injector = nullptr;
+
+  /// Wall-seconds without any mailbox progress before the watchdog fails
+  /// the world. 0 = auto: the TRICOUNT_WATCHDOG_SECONDS environment
+  /// variable if set, else 30 s when a fault injector is installed, else
+  /// disabled. Negative disables unconditionally.
+  double watchdog_seconds = 0.0;
+};
+
 /// Shared world state. Created by run_world(); Comm handles reference it.
 class World {
  public:
-  explicit World(int size);
+  explicit World(int size, const WorldOptions& options = {});
 
   int size() const { return size_; }
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<size_t>(rank)); }
@@ -30,33 +53,57 @@ class World {
   CommMatrix& comm_matrix() { return comm_matrix_; }
   const CommMatrix& comm_matrix() const { return comm_matrix_; }
 
+  /// The installed fault injector, or nullptr (the common case).
+  const FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Rank r's chaos tallies; written only by rank r's thread.
+  ChaosCounters& chaos_counters(int rank) {
+    return chaos_counters_.at(static_cast<size_t>(rank));
+  }
+  const std::vector<ChaosCounters>& all_chaos_counters() const {
+    return chaos_counters_;
+  }
+
+  /// Monotone count of mailbox pushes/pops, watched by the watchdog.
+  std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
   /// Wakes every blocked receiver with a failure. Called when a rank
   /// throws.
   void fail_all();
 
  private:
   int size_;
+  std::atomic<std::uint64_t> progress_{0};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<PerfCounters> counters_;
+  std::vector<ChaosCounters> chaos_counters_;
   CommMatrix comm_matrix_;
+  const FaultInjector* fault_injector_ = nullptr;
 };
 
 using RankFn = std::function<void(Comm&)>;
 
-/// Everything a world measured: per-rank traffic counters plus the
-/// (source, dest) communication matrix.
+/// Everything a world measured: per-rank traffic counters, the (source,
+/// dest) communication matrix, and — when a fault injector was installed —
+/// per-rank chaos tallies.
 struct WorldReport {
   std::vector<PerfCounters> counters;
   CommMatrix comm_matrix;
+  std::vector<ChaosCounters> chaos;
 };
 
 /// Runs `fn` on `size` ranks and returns the per-rank traffic counters.
 /// Rethrows the first rank exception, if any. Each rank thread is tagged
 /// with its rank via util::set_current_rank, so log lines and trace
 /// events are attributed to the right rank.
-std::vector<PerfCounters> run_world(int size, const RankFn& fn);
+std::vector<PerfCounters> run_world(int size, const RankFn& fn,
+                                    const WorldOptions& options = {});
 
-/// Like run_world, but also returns the communication matrix.
-WorldReport run_world_report(int size, const RankFn& fn);
+/// Like run_world, but also returns the communication matrix and chaos
+/// tallies.
+WorldReport run_world_report(int size, const RankFn& fn,
+                             const WorldOptions& options = {});
 
 }  // namespace tricount::mpisim

@@ -398,6 +398,33 @@ void print_report(const RunReport& report, const Analysis& analysis,
     table.print();
   }
 
+  // Chaos tallies (docs/chaos.md): present only in artifacts from runs
+  // with fault injection armed, so fault-free reports are unchanged.
+  {
+    bool any_chaos = false;
+    for (const auto& [name, value] : report.metrics.counters) {
+      any_chaos = any_chaos || name.rfind("chaos.", 0) == 0;
+      (void)value;
+    }
+    for (const auto& [name, value] : report.metrics.gauges) {
+      any_chaos = any_chaos || name.rfind("chaos.", 0) == 0;
+      (void)value;
+    }
+    if (any_chaos) {
+      util::print_heading("chaos");
+      util::Table table({"counter", "value"});
+      for (const auto& [name, value] : report.metrics.counters) {
+        if (name.rfind("chaos.", 0) != 0) continue;
+        table.row().cell(name.substr(6)).cell(value);
+      }
+      for (const auto& [name, value] : report.metrics.gauges) {
+        if (name.rfind("chaos.", 0) != 0) continue;
+        table.row().cell(name.substr(6)).cell(value, 6);
+      }
+      table.print();
+    }
+  }
+
   util::print_heading("alpha-beta consistency");
   if (analysis.consistency_issues.empty()) {
     std::printf("OK: declared modeled times match their re-derivation from "

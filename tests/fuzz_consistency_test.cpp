@@ -7,6 +7,7 @@
 // the generating seed.
 #include <gtest/gtest.h>
 
+#include "test_seed.hpp"
 #include "tricount/baselines/aop1d.hpp"
 #include "tricount/baselines/push_based1d.hpp"
 #include "tricount/baselines/wedge_counting.hpp"
@@ -73,15 +74,22 @@ core::Config random_config(util::Xoshiro256& rng) {
 
 class FuzzConsistency : public ::testing::TestWithParam<std::uint64_t> {};
 
+/// The effective seed for one parameterized case: the fixed roster value,
+/// perturbed by TRICOUNT_FUZZ_SEED when set (tests/test_seed.hpp). With
+/// the variable unset the XOR is zero, so default CI runs are unchanged.
+std::uint64_t effective_seed(std::uint64_t param) {
+  return param ^ (test_support::fuzz_seed() ^ test_support::kDefaultSeed);
+}
+
 TEST_P(FuzzConsistency, AllAlgorithmsAgree) {
-  util::Xoshiro256 rng(GetParam());
+  util::Xoshiro256 rng(effective_seed(GetParam()));
   for (int trial = 0; trial < 4; ++trial) {
     const graph::EdgeList g = random_graph(rng);
     const graph::Csr csr = graph::Csr::from_edges(g);
     const graph::TriangleCount expected =
         graph::count_triangles_serial(csr);
     SCOPED_TRACE(::testing::Message()
-                 << "seed=" << GetParam() << " trial=" << trial
+                 << "seed=" << effective_seed(GetParam()) << " trial=" << trial
                  << " n=" << g.num_vertices << " m=" << g.edges.size()
                  << " expected=" << expected);
 

@@ -9,11 +9,11 @@
 //   TRICOUNT_FUZZ_SEED=12345 ./kernel_differential_test
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "test_seed.hpp"
 #include "tricount/core/driver.hpp"
 #include "tricount/graph/generators.hpp"
 #include "tricount/graph/serial_count.hpp"
@@ -23,13 +23,7 @@ namespace {
 
 using graph::EdgeList;
 using graph::TriangleCount;
-
-std::uint64_t fuzz_seed() {
-  if (const char* env = std::getenv("TRICOUNT_FUZZ_SEED")) {
-    return std::strtoull(env, nullptr, 10);
-  }
-  return 20260805;  // fixed CI seed; override via the env var
-}
+using test_support::fuzz_seed;
 
 struct CaseConfig {
   kernels::KernelPolicy kernel = kernels::KernelPolicy::kAuto;

@@ -19,6 +19,10 @@
 #             exit 0.
 #   perturb   re-run with alpha x10 and diff against the baseline — must
 #             exit nonzero and explain the regression.
+#   chaosoff  re-run with the chaos rate knobs spelled out but NO
+#             --chaos-seed (so the injector stays null) and diff against
+#             the baseline — must exit 0, proving the chaos interposer is
+#             free when disarmed (docs/chaos.md).
 #
 # Baseline refresh (after an intentional perf-affecting change):
 #   regenerate each artifact with the commands below and copy it over
@@ -86,6 +90,23 @@ elseif(MODE STREQUAL "selfdiff")
   if(NOT status EQUAL 0)
     message(FATAL_ERROR
             "perf_gate: two runs of the same config diff dirty (${status})")
+  endif()
+elseif(MODE STREQUAL "chaosoff")
+  if(NOT EXISTS ${BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${BASELINE}")
+  endif()
+  set(CHAOSOFF ${WORK_DIR}/${DATASET}_r${RANKS}_chaosoff.json)
+  # Rate knobs without --chaos-seed must leave the fault injector null and
+  # the run bit-comparable (within the diff noise floor) to the baseline.
+  run_count(${CHAOSOFF} --chaos-drop 0.5 --chaos-dup 0.5 --chaos-reorder 0.5
+            --chaos-straggler 4.0)
+  execute_process(
+    COMMAND ${PERF} diff ${BASELINE} ${CHAOSOFF}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: chaos-disabled run diffs dirty against ${BASELINE} "
+            "(${status}) — the disarmed interposer is not free")
   endif()
 elseif(MODE STREQUAL "perturb")
   if(NOT EXISTS ${BASELINE})

@@ -1,0 +1,42 @@
+// Shared seed-from-environment parsing for the randomized test harnesses.
+//
+// Every seeded suite reads its base seed the same way: a decimal value in
+// an environment variable, falling back to a fixed CI seed so default runs
+// are reproducible. Previously kernel_differential_test and
+// fuzz_consistency_test each hand-rolled this; keep the one copy here so
+// the chaos campaign (TRICOUNT_CHAOS_SEED) parses identically.
+//
+//   TRICOUNT_FUZZ_SEED=12345 ./kernel_differential_test
+//   TRICOUNT_CHAOS_SEED=12345 ./chaos_test
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace tricount::test_support {
+
+/// The fixed CI seed shared by all randomized suites; chosen once and kept
+/// stable so failures reported against it replay forever.
+inline constexpr std::uint64_t kDefaultSeed = 20260805;
+
+/// Reads a decimal seed from environment variable `name`, or returns
+/// `fallback` when the variable is unset.
+inline std::uint64_t seed_from_env(const char* name,
+                                   std::uint64_t fallback = kDefaultSeed) {
+  if (const char* env = std::getenv(name)) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+/// Base seed for the kernel differential harness and other fuzz suites.
+inline std::uint64_t fuzz_seed() {
+  return seed_from_env("TRICOUNT_FUZZ_SEED");
+}
+
+/// Base seed for the chaos fault-injection campaign (docs/chaos.md).
+inline std::uint64_t chaos_seed() {
+  return seed_from_env("TRICOUNT_CHAOS_SEED");
+}
+
+}  // namespace tricount::test_support

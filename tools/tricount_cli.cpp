@@ -25,6 +25,7 @@
 #include "tricount/baselines/aop1d.hpp"
 #include "tricount/baselines/push_based1d.hpp"
 #include "tricount/baselines/wedge_counting.hpp"
+#include "tricount/chaos/options.hpp"
 #include "tricount/core/artifacts.hpp"
 #include "tricount/core/driver.hpp"
 #include "tricount/core/per_vertex.hpp"
@@ -36,6 +37,7 @@
 #include "tricount/graph/stats.hpp"
 #include "tricount/kernels/kernels.hpp"
 #include "tricount/util/argparse.hpp"
+#include "tricount/util/log.hpp"
 #include "tricount/util/table.hpp"
 
 namespace {
@@ -235,6 +237,13 @@ int cmd_count(int argc, const char* const* argv) {
                   "(2d only)");
   args.add_flag("analyze", false,
                 "print the perf-doctor bottleneck report (2d only)");
+  args.add_flag("checkpoint", false,
+                "checkpoint counting supersteps even without a scheduled "
+                "crash (docs/chaos.md)");
+  args.add_option("watchdog", "0",
+                  "hang-watchdog budget in seconds (0 = auto, negative = "
+                  "off; see docs/chaos.md)");
+  chaos::add_chaos_options(args);
   if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
@@ -250,6 +259,7 @@ int cmd_count(int argc, const char* const* argv) {
     return 1;
   }
   if (const std::string inter = args.get("intersection"); !inter.empty()) {
+    util::warn_deprecated("--intersection", "--kernel");
     if (inter != "map" && inter != "list") {
       std::fprintf(stderr, "unknown --intersection '%s'\n", inter.c_str());
       return 1;
@@ -263,10 +273,14 @@ int cmd_count(int argc, const char* const* argv) {
   config.modified_hashing = args.get_bool("modified-hashing");
   config.backward_early_exit = args.get_bool("backward-exit");
   config.blob_comm = args.get_bool("blob");
+  config.checkpoint = args.get_bool("checkpoint");
+  const double watchdog = args.get_double("watchdog");
 
   if (algorithm == "2d") {
     core::RunOptions options;
     options.config = config;
+    options.chaos = chaos::plan_from_args(args, ranks);
+    options.watchdog_seconds = watchdog;
     if (!args.get("model").empty()) {
       options.model =
           util::AlphaBetaModel::from_string(args.get("model").c_str());
@@ -277,6 +291,20 @@ int cmd_count(int argc, const char* const* argv) {
     std::printf("modeled ppt/tct/overall: %.4f / %.4f / %.4f s\n",
                 result.pre_modeled_seconds(), result.tc_modeled_seconds(),
                 result.total_modeled_seconds());
+    if (result.chaos_enabled) {
+      const mpisim::ChaosCounters c = result.total_chaos();
+      std::printf("chaos: %llu faults injected (drop %llu, dup %llu, "
+                  "reorder %llu, delay %llu), %llu retransmits, %llu dups "
+                  "discarded, %llu crash(es) recovered\n",
+                  static_cast<unsigned long long>(c.total_injected()),
+                  static_cast<unsigned long long>(c.drops_injected),
+                  static_cast<unsigned long long>(c.duplicates_injected),
+                  static_cast<unsigned long long>(c.reorders_injected),
+                  static_cast<unsigned long long>(c.delays_injected),
+                  static_cast<unsigned long long>(c.retransmits),
+                  static_cast<unsigned long long>(c.duplicates_discarded),
+                  static_cast<unsigned long long>(c.crashes));
+    }
     if (!args.get("trace-out").empty()) {
       core::write_run_trace(result, args.get("trace-out"));
       std::printf("wrote trace: %s\n", args.get("trace-out").c_str());
@@ -307,12 +335,22 @@ int cmd_count(int argc, const char* const* argv) {
     }
     options.grid_rows = rows;
     options.grid_cols = cols;
+    options.chaos = chaos::plan_from_args(args, rows * cols);
+    options.watchdog_seconds = watchdog;
     const auto result = core::count_triangles_summa(g, options);
     std::printf("triangles: %llu (grid %dx%d, %d panels)\n",
                 static_cast<unsigned long long>(result.triangles),
                 result.grid_rows, result.grid_cols, result.panels);
     std::printf("modeled ppt/tct: %.4f / %.4f s\n", result.pre_modeled_seconds,
                 result.tc_modeled_seconds);
+    if (result.chaos_enabled) {
+      const mpisim::ChaosCounters c = result.total_chaos();
+      std::printf("chaos: %llu faults injected, %llu retransmits, %llu "
+                  "crash(es) recovered\n",
+                  static_cast<unsigned long long>(c.total_injected()),
+                  static_cast<unsigned long long>(c.retransmits),
+                  static_cast<unsigned long long>(c.crashes));
+    }
   } else if (algorithm == "aop") {
     baselines::AopOptions options;
     options.kernel = config.kernel;

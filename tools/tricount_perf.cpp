@@ -4,6 +4,7 @@
 //   tricount_perf report <metrics.json> [--top N]
 //       Human-readable bottleneck report: dominant phase, comm fractions,
 //       load imbalance, top straggler ranks, per-superstep critical path,
+//       chaos fault tallies (when the artifact came from a chaos run),
 //       and the α–β consistency check. Exit 1 when the consistency check
 //       fails, 0 otherwise.
 //
