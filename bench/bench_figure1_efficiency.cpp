@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("bench_figure1_efficiency", "Reproduces Figure 1.");
   bench::add_common_options(args, /*default_scale=*/15,
                             "16,25,36,49,64,81,100,121,144,169");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   bench::banner("Figure 1: efficiency vs ranks (baseline: first grid)",
                 "One sub-table per dataset; series are the figure's ppt / "
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.model = bench::model_from_args(args);
   options.config.kernel = bench::kernel_from_args(args);
+  options.config.overlap = args.get_bool("overlap");
 
   for (const bench::Dataset& dataset :
        bench::paper_datasets(static_cast<int>(args.get_int("scale")))) {

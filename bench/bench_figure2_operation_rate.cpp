@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
                        "Reproduces Figure 2.");
   bench::add_common_options(args, /*default_scale=*/15,
                             "16,25,36,49,64,81,100,121,144,169");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const bench::Dataset dataset =
       bench::overhead_dataset(static_cast<int>(args.get_int("scale")));
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.model = bench::model_from_args(args);
   options.config.kernel = bench::kernel_from_args(args);
+  options.config.overlap = args.get_bool("overlap");
 
   util::Table table({"ranks", "ppt kOps/s", "tct kOps/s"});
   for (const int p : bench::ranks_from_args(args)) {

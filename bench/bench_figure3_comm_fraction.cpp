@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("bench_figure3_comm_fraction", "Reproduces Figure 3.");
   bench::add_common_options(args, /*default_scale=*/15,
                             "16,25,36,49,64,81,100,121,144,169");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const bench::Dataset dataset =
       bench::overhead_dataset(static_cast<int>(args.get_int("scale")));
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.model = bench::model_from_args(args);
   options.config.kernel = bench::kernel_from_args(args);
+  options.config.overlap = args.get_bool("overlap");
 
   util::Table table({"ranks", "ppt comm %", "tct comm %"});
   bench::JsonReport report("figure3_comm_fraction");

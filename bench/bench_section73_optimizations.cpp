@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("bench_section73_optimizations",
                        "Reproduces the §7.3 optimization ablation.");
   bench::add_common_options(args, /*default_scale=*/15, "16,100");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const bench::Dataset dataset =
       bench::overhead_dataset(static_cast<int>(args.get_int("scale")));
@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   core::RunOptions base;
   base.model = bench::model_from_args(args);
   base.config.kernel = bench::kernel_from_args(args);
+  base.config.overlap = args.get_bool("overlap");
 
   struct Ablation {
     const char* name;
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
       core::RunOptions options = base;
       options.config = ablation.config;
       options.config.kernel = base.config.kernel;
+      options.config.overlap = base.config.overlap;
       const double ablated = tct_seconds(csr, p, options, reps);
       const double pct = 100.0 * (ablated - full) / ablated;
       table.row()

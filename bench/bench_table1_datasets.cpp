@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("bench_table1_datasets", "Reproduces Table 1.");
   bench::add_common_options(args, /*default_scale=*/15, "16");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   bench::banner("Table 1: dataset statistics",
                 "Scaled surrogates of the paper's datasets (same generator "

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
                        "Reproduces Table 2.");
   bench::add_common_options(args, /*default_scale=*/15,
                             "16,25,36,49,64,81,100,121,144,169");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   bench::banner(
       "Table 2: parallel performance, 16-169 ranks",
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.model = bench::model_from_args(args);
   options.config.kernel = bench::kernel_from_args(args);
+  options.config.overlap = args.get_bool("overlap");
   bench::JsonReport report("table2_parallel_performance");
 
   for (const bench::Dataset& dataset :

@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("bench_table3_load_imbalance", "Reproduces Table 3.");
   bench::add_common_options(args, /*default_scale=*/15, "25,36");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const bench::Dataset dataset =
       bench::overhead_dataset(static_cast<int>(args.get_int("scale")));
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.model = bench::model_from_args(args);
   options.config.kernel = bench::kernel_from_args(args);
+  options.config.overlap = args.get_bool("overlap");
 
   util::Table table({"ranks", "max runtime (ms)", "avg runtime (ms)",
                      "load imbalance", "task imbalance"});

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
 
   util::ArgParser args("bench_table5_havoq", "Reproduces Table 5.");
   bench::add_common_options(args, /*default_scale=*/14, "16");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   bench::banner("Table 5: vs wedge counting (Havoq-like)",
                 "Both algorithms run on the same simulated rank count; "
@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     core::RunOptions options;
     options.model = model;
     options.config.kernel = kernel;
+    options.config.overlap = args.get_bool("overlap");
     options.chaos = bench::chaos_from_args(args, p);
     const core::RunResult ours = core::count_triangles_2d(g, p, options);
     if (ours.triangles != wedge.triangles()) {

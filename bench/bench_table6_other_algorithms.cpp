@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("bench_table6_other_algorithms",
                        "Reproduces Table 6.");
   bench::add_common_options(args, /*default_scale=*/15, "16");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const util::AlphaBetaModel model = bench::model_from_args(args);
   const kernels::KernelPolicy kernel = bench::kernel_from_args(args);
@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   core::RunOptions options;
   options.model = model;
   options.config.kernel = kernel;
+  options.config.overlap = args.get_bool("overlap");
   options.chaos = bench::chaos_from_args(args, p);
   const core::RunResult ours = core::count_triangles_2d(g, p, options);
 

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,6 +89,9 @@ inline void add_common_options(util::ArgParser& args, int default_scale,
   args.add_option("kernel", "auto",
                   "intersection kernel: auto | merge | galloping | bitmap | "
                   "hash (docs/kernels.md)");
+  args.add_flag("overlap", false,
+                "overlap block shifts / panel broadcasts with intersections "
+                "(docs/overlap.md)");
   args.add_option("reps", "3",
                   "repetitions per configuration; the median run (by "
                   "overall modeled time) is reported, damping scheduler "
@@ -268,10 +272,17 @@ class JsonReport {
   std::vector<obs::json::Value> records_;
 };
 
+/// Parses --model; exits loudly on a malformed spec so a sweep script
+/// can't silently benchmark with the default model.
 inline util::AlphaBetaModel model_from_args(const util::ArgParser& args) {
   const std::string spec = args.get("model");
-  return spec.empty() ? util::AlphaBetaModel{}
-                      : util::AlphaBetaModel::from_string(spec.c_str());
+  if (spec.empty()) return util::AlphaBetaModel{};
+  try {
+    return util::AlphaBetaModel::from_string(spec.c_str());
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --model: %s\n", e.what());
+    std::exit(1);
+  }
 }
 
 /// Parses --kernel; exits loudly on an unknown spelling so a sweep script

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
                        "Compare all distributed algorithms on a graph file.");
   args.add_option("file", "", "edge list (.txt) or MatrixMarket (.mtx) file");
   args.add_option("ranks", "16", "simulated MPI ranks (perfect square)");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   std::string path = args.get("file");
   if (path.empty()) {

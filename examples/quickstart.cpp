@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
                                  "2D distributed algorithm.");
   args.add_option("scale", "12", "RMAT scale (n = 2^scale vertices)");
   args.add_option("ranks", "16", "simulated MPI ranks (perfect square)");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   tricount::graph::RmatParams params;
   params.scale = static_cast<int>(args.get_int("scale"));

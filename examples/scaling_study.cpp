@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   args.add_option("ranks", "1,4,9,16,25,36", "comma-separated rank counts");
   args.add_option("dataset", "g500",
                   "generator preset: g500, twitter, friendster");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const int scale = static_cast<int>(args.get_int("scale"));
   const std::string dataset = args.get("dataset");

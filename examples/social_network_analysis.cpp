@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
                        "Clustering structure of a twitter-like graph.");
   args.add_option("scale", "11", "graph scale (n = 2^scale)");
   args.add_option("ranks", "16", "simulated MPI ranks (perfect square)");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const auto params =
       graph::twitter_like_params(static_cast<int>(args.get_int("scale")));

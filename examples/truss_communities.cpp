@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   args.add_option("background", "3000", "random background edges");
   args.add_option("n", "600", "total vertices");
   args.add_option("ranks", "9", "simulated ranks for the count check");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const auto communities = static_cast<graph::VertexId>(args.get_int("communities"));
   const auto size = static_cast<graph::VertexId>(args.get_int("size"));

@@ -44,6 +44,7 @@ obs::analysis::RunReport report_of(const RunResult& result) {
     obs::analysis::Step out;
     out.name = step.name;
     out.phase = step.phase;
+    out.overlapped = b.overlapped;
     out.declared_seconds = b.modeled_seconds(result.model);
     out.declared_comm_seconds = b.modeled_comm_seconds(result.model);
     for (const PhaseSample& sample : step.samples) {
@@ -171,6 +172,30 @@ obs::Snapshot build_run_snapshot(const RunResult& result) {
     }
   }
 
+  // Overlap tallies appear only on overlapped runs, so overlap-off
+  // artifacts stay byte-comparable to the checked-in baselines
+  // (tests/perf_gate.cmake). Efficiency = hidden / network per superstep.
+  if (result.overlap_enabled) {
+    double hidden_total = 0.0;
+    double exposed_total = 0.0;
+    std::uint64_t overlap_steps = 0;
+    obs::Histogram& efficiency =
+        registry.histogram("tc.overlap.step_efficiency", /*scale=*/1e-3);
+    for (std::size_t s = 0; s < result.num_shifts(); ++s) {
+      const PhaseBreakdown b = breakdown(result.shift_samples(s));
+      if (!b.overlapped) continue;
+      overlap_steps += 1;
+      const double network = result.model.cost(b.max_messages, b.max_bytes);
+      const double hidden = b.hidden_seconds(result.model);
+      hidden_total += hidden;
+      exposed_total += network - hidden;
+      if (network > 0.0) efficiency.observe(hidden / network);
+    }
+    registry.counter("tc.overlap.steps").set(overlap_steps);
+    registry.gauge("tc.overlap.hidden_seconds").set(hidden_total);
+    registry.gauge("tc.overlap.exposed_network_seconds").set(exposed_total);
+  }
+
   // Chaos tallies appear only on chaos runs, so fault-free artifacts stay
   // byte-comparable to pre-chaos baselines (tests/perf_gate.cmake).
   if (result.chaos_enabled) {
@@ -255,6 +280,9 @@ obs::json::Value build_run_metrics(const RunResult& result) {
     entry.set("max_bytes", b.max_bytes);
     entry.set("total_bytes", b.total_bytes);
     entry.set("max_comm_cpu_seconds", b.max_comm_cpu_seconds);
+    // Written only on overlapped runs: overlap-off artifacts must stay
+    // byte-identical to baselines produced before the key existed.
+    if (result.overlap_enabled) entry.set("overlapped", b.overlapped);
     Value rank_rows = Value::array();
     for (const PhaseSample& sample : step.samples) {
       Value row = Value::object();

@@ -46,6 +46,15 @@ struct Config {
   /// block as one contiguous blob instead of per-array messages.
   bool blob_comm = true;
 
+  /// Overlap communication with computation (`--overlap`): post the next
+  /// superstep's U/L shift (Cannon) or prefetch the next panel (SUMMA)
+  /// with isend/irecv before running the current superstep's
+  /// intersections, and complete it afterwards. Counts are unchanged; the
+  /// α–β model then charges max(compute, network) per overlapped
+  /// superstep instead of their sum (docs/overlap.md). Off by default so
+  /// checked-in baseline artifacts stay byte-identical.
+  bool overlap = false;
+
   /// Checkpoint the U/L/task blocks and partial count at every counting
   /// superstep, whether or not a crash is scheduled (docs/chaos.md). A
   /// scheduled chaos crash forces checkpointing on the crashing rank; this

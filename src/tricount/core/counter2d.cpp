@@ -95,8 +95,15 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
   CountOutput out;
 
   kernels::IntersectScratch scratch;
-  scratch.reserve_for(std::max<std::size_t>(
-      {blocks.ublock.max_row_degree(), std::size_t{16}}));
+  // Sized from the *current* U block, not just the initial one: a
+  // shifted-in block can carry longer rows, and an undersized table
+  // degrades into mid-superstep rehashes — re-checked after every shift
+  // and on recovery restore (reserve_for never shrinks).
+  auto reserve_scratch = [&] {
+    scratch.reserve_for(std::max<std::size_t>(
+        {blocks.ublock.max_row_degree(), std::size_t{16}}));
+  };
+  reserve_scratch();
   scratch.reset_probes();
 
   // Chaos schedule for this rank (docs/chaos.md): a scheduled fail-restart
@@ -120,6 +127,14 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
     TriangleCount local_triangles = 0;
     KernelCounters kernel;
     std::uint64_t lookups_before = 0;
+    /// The scratch's cumulative probe tally lives outside out.kernel until
+    /// the loop ends; without this field a recovery keeps the discarded
+    /// superstep's probes and out.kernel.probes over-reports.
+    std::uint64_t probes = 0;
+    /// Hash capacity in effect at the checkpoint: the replay must rerun
+    /// under the same table geometry or its probe/direct-mode tallies
+    /// diverge from the pass it discards.
+    std::size_t hash_capacity = 0;
   };
   Checkpoint ckpt;
 
@@ -134,6 +149,27 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
       ckpt.local_triangles = out.local_triangles;
       ckpt.kernel = out.kernel;
       ckpt.lookups_before = lookups_before;
+      ckpt.probes = scratch.probes();
+      ckpt.hash_capacity = scratch.hash_capacity();
+    }
+    // Overlap mode posts the next shift before intersecting: buffered
+    // isends copy the blobs up front, so computing on the blocks while
+    // the shift is in flight is safe, and the irecvs complete after the
+    // intersection. Always blob format — a four-message array shift has
+    // no single completion event to hide behind the compute.
+    const bool overlapped = config.overlap && s + 1 < q;
+    mpisim::Request u_req;
+    mpisim::Request l_req;
+    if (overlapped) {
+      obs::ScopedSpan span("shift", "tc");
+      const std::vector<std::byte> ublob = blocks.ublock.to_blob();
+      const std::vector<std::byte> lblob = blocks.lblock.to_blob();
+      (void)comm.isend_bytes(grid.left(), kTagUBlock,
+                             std::span<const std::byte>(ublob));
+      (void)comm.isend_bytes(grid.up(), kTagLBlock,
+                             std::span<const std::byte>(lblob));
+      u_req = comm.irecv(grid.right(), kTagUBlock);
+      l_req = comm.irecv(grid.down(), kTagLBlock);
     }
     {
       obs::ScopedSpan span("intersect", "tc");
@@ -161,6 +197,7 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
         out.local_triangles = ckpt.local_triangles;
         out.kernel = ckpt.kernel;
         lookups_before = ckpt.lookups_before;
+        scratch.restore(ckpt.hash_capacity, ckpt.probes);
         out.local_triangles += intersect_blocks(blocks.tasks, blocks.ublock,
                                                 blocks.lblock, config, scratch,
                                                 out.kernel);
@@ -169,17 +206,24 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
       cc.recovery_seconds += util::thread_cpu_seconds() - t0;
     }
     if (s + 1 < q) {
-      // U one column left, L one row up (paper §5.1). Buffered sendrecv
-      // keeps the ring deadlock-free.
+      // U one column left, L one row up (paper §5.1). Buffered sends keep
+      // the ring deadlock-free in both modes.
       obs::ScopedSpan span("shift", "tc");
-      blocks.ublock =
-          shift_block(comm, std::move(blocks.ublock), grid.left(),
-                      grid.right(), kTagUBlock, kTagUArrays, config.blob_comm);
-      blocks.lblock =
-          shift_block(comm, std::move(blocks.lblock), grid.up(), grid.down(),
-                      kTagLBlock, kTagLArrays, config.blob_comm);
+      if (overlapped) {
+        blocks.ublock = BlockCsr::from_blob(u_req.wait().payload);
+        blocks.lblock = BlockCsr::from_blob(l_req.wait().payload);
+      } else {
+        blocks.ublock = shift_block(comm, std::move(blocks.ublock),
+                                    grid.left(), grid.right(), kTagUBlock,
+                                    kTagUArrays, config.blob_comm);
+        blocks.lblock =
+            shift_block(comm, std::move(blocks.lblock), grid.up(), grid.down(),
+                        kTagLBlock, kTagLArrays, config.blob_comm);
+      }
+      reserve_scratch();
     }
     PhaseSample sample = tracker.cut();
+    sample.overlapped = overlapped;
     if (straggler > 1.0) {
       // Modeled slowdown: inflate the compute reading the α–β model sees;
       // the injected share is tallied so reports can subtract it.

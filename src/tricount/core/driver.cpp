@@ -28,6 +28,7 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
   world_options.fault_injector = options.chaos.get();
   world_options.watchdog_seconds = options.watchdog_seconds;
   result.chaos_enabled = options.chaos != nullptr;
+  result.overlap_enabled = options.config.overlap;
 
   mpisim::WorldReport report = mpisim::run_world_report(ranks, [&](mpisim::Comm& comm) {
     mpisim::Cart2D grid(comm);

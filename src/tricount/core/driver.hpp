@@ -52,6 +52,10 @@ struct RunResult {
   mpisim::CommMatrix comm_matrix;
   /// True when a fault injector was installed for this run.
   bool chaos_enabled = false;
+  /// True when the run used comm/compute overlap (Config::overlap); the
+  /// overlap metrics block is emitted only in this case so overlap-off
+  /// artifacts stay byte-identical to pre-overlap builds.
+  bool overlap_enabled = false;
   /// Per-rank chaos tallies (all zero unless chaos_enabled).
   std::vector<mpisim::ChaosCounters> per_rank_chaos;
 

@@ -10,6 +10,9 @@ PhaseSample& PhaseSample::operator+=(const PhaseSample& other) {
   bytes += other.bytes;
   comm_cpu_seconds += other.comm_cpu_seconds;
   ops += other.ops;
+  // A phase total counts as overlapped if any constituent superstep was;
+  // per-superstep accounting is what the modeled times are built from.
+  overlapped = overlapped || other.overlapped;
   return *this;
 }
 
@@ -45,9 +48,16 @@ PhaseSample PhaseTracker::cut() {
   return sample;
 }
 
+double PhaseBreakdown::hidden_seconds(
+    const util::AlphaBetaModel& model) const {
+  if (!overlapped) return 0.0;
+  return std::min(max_compute_seconds, model.cost(max_messages, max_bytes));
+}
+
 double PhaseBreakdown::modeled_comm_seconds(
     const util::AlphaBetaModel& model) const {
-  return model.cost(max_messages, max_bytes) + max_comm_cpu_seconds;
+  return model.cost(max_messages, max_bytes) - hidden_seconds(model) +
+         max_comm_cpu_seconds;
 }
 
 double PhaseBreakdown::modeled_seconds(
@@ -58,8 +68,13 @@ double PhaseBreakdown::modeled_seconds(
 PhaseBreakdown breakdown(const std::vector<PhaseSample>& per_rank) {
   PhaseBreakdown out;
   if (per_rank.empty()) return out;
+  // All ranks of a superstep run the same mode, so all-of is the same as
+  // any-of on real data; all-of keeps a stray unmarked sample conservative
+  // (the sum, never an optimistic max).
+  out.overlapped = true;
   double compute_total = 0.0;
   for (const PhaseSample& s : per_rank) {
+    out.overlapped = out.overlapped && s.overlapped;
     out.max_compute_seconds = std::max(out.max_compute_seconds, s.compute_cpu_seconds);
     compute_total += s.compute_cpu_seconds;
     out.max_messages = std::max(out.max_messages, s.messages);

@@ -39,6 +39,10 @@ struct PhaseSample {
   /// in preprocessing, hash lookups in counting); feeds the Figure 2
   /// operation-rate plot.
   std::uint64_t ops = 0;
+  /// True when this superstep ran with communication posted before the
+  /// compute (Config::overlap); the α–β model then charges
+  /// max(compute, network) instead of their sum (docs/overlap.md).
+  bool overlapped = false;
 
   PhaseSample& operator+=(const PhaseSample& other);
 };
@@ -82,11 +86,21 @@ struct PhaseBreakdown {
   std::uint64_t max_bytes = 0;
   std::uint64_t total_bytes = 0;
   double max_comm_cpu_seconds = 0.0;
+  /// Set when every contributing sample ran overlapped (Config::overlap).
+  bool overlapped = false;
 
   /// Modeled superstep time: slowest rank's compute plus the α–β cost of
-  /// the heaviest rank's traffic (plus measured packing CPU).
+  /// the heaviest rank's traffic (plus measured packing CPU). For an
+  /// overlapped superstep the network term is charged only where it
+  /// exceeds the compute it was hidden behind:
+  ///   modeled = max_compute + (network - hidden) + max_comm_cpu
+  /// with hidden = min(max_compute, network) — i.e. max(compute, network)
+  /// plus the packing CPU, which a posted request cannot hide.
   double modeled_seconds(const util::AlphaBetaModel& model) const;
   double modeled_comm_seconds(const util::AlphaBetaModel& model) const;
+  /// The α–β network seconds hidden behind compute (0 when not
+  /// overlapped) — the numerator of the reported overlap efficiency.
+  double hidden_seconds(const util::AlphaBetaModel& model) const;
 };
 
 /// Reduces one superstep across ranks.

@@ -202,8 +202,69 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
       graph::TriangleCount local = 0;
       KernelCounters kernel;
       std::uint64_t lookups_before = 0;
+      /// Cumulative scratch probe tally at step entry; restored on
+      /// recovery so the discarded execution's probes are rolled back.
+      std::uint64_t probes = 0;
+      /// Hash capacity at step entry — the replay must rerun under the
+      /// same table geometry to reproduce the discarded pass's tallies.
+      std::size_t hash_capacity = 0;
     };
     Checkpoint ckpt;
+
+    // Overlap mode replaces the binomial broadcast with a point-to-point
+    // prefetch pipeline one panel ahead: step z+1's owners isend their
+    // blobs (buffered, so the copy is immediate) and every other rank
+    // posts irecvs before step z's intersection runs; the requests are
+    // completed when the next step starts. Step 0's fetch is the pipeline
+    // fill and cannot overlap anything.
+    struct PanelFetch {
+      mpisim::Request req;
+      const BlockCsr* own = nullptr;
+    };
+    auto post_u = [&](int z) {
+      PanelFetch f;
+      const int u_owner = x * qc + (z % qc);
+      if (comm.rank() == u_owner) {
+        f.own = &blocks.upanels[static_cast<std::size_t>(z / qc)];
+        const std::vector<std::byte> blob = f.own->to_blob();
+        for (const int m : row_members) {
+          if (m == comm.rank()) continue;
+          (void)comm.isend_bytes(m, kTagSummaU,
+                                 std::span<const std::byte>(blob));
+        }
+      } else {
+        f.req = comm.irecv(u_owner, kTagSummaU);
+      }
+      return f;
+    };
+    auto post_l = [&](int z) {
+      PanelFetch f;
+      const int l_owner = (z % qr) * qc + y;
+      if (comm.rank() == l_owner) {
+        f.own = &blocks.lpanels[static_cast<std::size_t>(z / qr)];
+        const std::vector<std::byte> blob = f.own->to_blob();
+        for (const int m : col_members) {
+          if (m == comm.rank()) continue;
+          (void)comm.isend_bytes(m, kTagSummaL,
+                                 std::span<const std::byte>(blob));
+        }
+      } else {
+        f.req = comm.irecv(l_owner, kTagSummaL);
+      }
+      return f;
+    };
+    auto resolve = [](PanelFetch& f) {
+      if (f.own != nullptr) return *f.own;
+      return BlockCsr::from_blob(f.req.wait().payload);
+    };
+
+    const bool overlap = options.config.overlap;
+    PanelFetch next_u;
+    PanelFetch next_l;
+    if (overlap) {
+      next_u = post_u(0);
+      next_l = post_l(0);
+    }
 
     auto& steps = step_samples[static_cast<std::size_t>(comm.rank())];
     for (int z = 0; z < K; ++z) {
@@ -213,19 +274,32 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
         ckpt.local = local;
         ckpt.kernel = kernel;
         ckpt.lookups_before = lookups_before;
+        ckpt.probes = scratch.probes();
+        ckpt.hash_capacity = scratch.hash_capacity();
       }
-      const int u_owner = x * qc + (z % qc);
-      const BlockCsr* own_u =
-          comm.rank() == u_owner
-              ? &blocks.upanels[static_cast<std::size_t>(z / qc)]
-              : nullptr;
-      const BlockCsr uz = panel_bcast(comm, own_u, z % qc, row_members);
-      const int l_owner = (z % qr) * qc + y;
-      const BlockCsr* own_l =
-          comm.rank() == l_owner
-              ? &blocks.lpanels[static_cast<std::size_t>(z / qr)]
-              : nullptr;
-      const BlockCsr lz = panel_bcast(comm, own_l, z % qr, col_members);
+      BlockCsr uz;
+      BlockCsr lz;
+      if (overlap) {
+        uz = resolve(next_u);
+        lz = resolve(next_l);
+        if (z + 1 < K) {
+          next_u = post_u(z + 1);
+          next_l = post_l(z + 1);
+        }
+      } else {
+        const int u_owner = x * qc + (z % qc);
+        const BlockCsr* own_u =
+            comm.rank() == u_owner
+                ? &blocks.upanels[static_cast<std::size_t>(z / qc)]
+                : nullptr;
+        uz = panel_bcast(comm, own_u, z % qc, row_members);
+        const int l_owner = (z % qr) * qc + y;
+        const BlockCsr* own_l =
+            comm.rank() == l_owner
+                ? &blocks.lpanels[static_cast<std::size_t>(z / qr)]
+                : nullptr;
+        lz = panel_bcast(comm, own_l, z % qr, col_members);
+      }
       local += intersect_blocks(blocks.tasks, uz, lz, options.config, scratch,
                                 kernel);
       if (z == crash_step) {
@@ -245,6 +319,7 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
           local = ckpt.local;
           kernel = ckpt.kernel;
           lookups_before = ckpt.lookups_before;
+          scratch.restore(ckpt.hash_capacity, ckpt.probes);
           local += intersect_blocks(blocks.tasks, uz, lz, options.config,
                                     scratch, kernel);
         }
@@ -261,6 +336,7 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
       }
       s.ops = kernel.lookups - lookups_before;
       lookups_before = kernel.lookups;
+      s.overlapped = overlap;
       steps.push_back(s);
     }
     kernel.probes = scratch.probes();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "tricount/mpisim/runtime.hpp"
@@ -302,6 +303,90 @@ void Comm::flush_sends() {
     if (unacked_.empty()) break;
     std::this_thread::sleep_for(
         std::chrono::duration<double>(kReliablePollSeconds));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Non-blocking point-to-point
+
+bool Request::test() {
+  if (done_) return true;
+  if (kind_ != Kind::kRecv || comm_ == nullptr) return done_;
+  Message m;
+  if (comm_->try_recv_message(peer_, tag_, m)) {
+    message_ = std::move(m);
+    done_ = true;
+  }
+  return done_;
+}
+
+Message& Request::wait() {
+  if (done_) return message_;
+  if (kind_ != Kind::kRecv || comm_ == nullptr) {
+    throw std::logic_error("mpisim: wait on an empty request");
+  }
+  message_ = comm_->recv_message(peer_, tag_);
+  done_ = true;
+  return message_;
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (!r.empty()) r.wait();
+  }
+}
+
+Request Comm::isend_bytes(int dest, int tag,
+                          std::span<const std::byte> payload) {
+  send_bytes(dest, tag, payload);
+  return Request(this, Request::Kind::kSend, dest, tag, /*done=*/true);
+}
+
+Request Comm::irecv(int source, int tag) {
+  return Request(this, Request::Kind::kRecv, source, tag, /*done=*/false);
+}
+
+bool Comm::try_recv_message(int source, int tag, Message& out) {
+  const double t0 = util::thread_cpu_seconds();
+  const bool got = world_.fault_injector() != nullptr
+                       ? reliable_try_recv(source, tag, out)
+                       : world_.mailbox(rank_).try_pop(source, tag, out);
+  PerfCounters& c = counters();
+  if (got) {
+    c.messages_received += 1;
+    c.bytes_received += out.payload.size();
+    if (is_collective_tag(out.tag)) {
+      c.collective_messages_received += 1;
+      c.collective_bytes_received += out.payload.size();
+    }
+  }
+  c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
+  return got;
+}
+
+bool Comm::reliable_try_recv(int source, int tag, Message& out) {
+  Mailbox& mb = world_.mailbox(rank_);
+  ChaosCounters& cc = world_.chaos_counters(rank_);
+  for (;;) {
+    service_reliable();
+    if (take_from_stash(source, tag, out)) return true;
+    Message m;
+    if (!mb.try_pop(source, tag, m)) return false;
+    send_ack(m);
+    RecvChannel& channel = recv_channels_[{m.source, m.tag}];
+    if (m.seq < channel.next_seq || channel.stash.count(m.seq) != 0) {
+      cc.duplicates_discarded += 1;
+      continue;  // consumed a duplicate; look again without blocking
+    }
+    if (m.seq == channel.next_seq) {
+      channel.next_seq += 1;
+      out = std::move(m);
+      return true;
+    }
+    cc.out_of_order_stashed += 1;
+    channel.stash.emplace(m.seq, std::move(m));
+    // The popped copy overtook its channel; keep draining — the in-order
+    // message may already be queued behind it.
   }
 }
 

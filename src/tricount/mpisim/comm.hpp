@@ -31,6 +31,64 @@
 namespace tricount::mpisim {
 
 class World;
+class Comm;
+
+/// Handle for a non-blocking point-to-point operation (isend/irecv).
+///
+/// Semantics mirror MPI_Request for the subset mpisim needs:
+///  - Send requests complete immediately (sends are buffered; the payload
+///    is copied before isend_bytes returns), so wait/test on them never
+///    block. Completion does NOT imply the receiver has matched it.
+///  - Receive requests match lazily at wait()/test() time against the
+///    mailbox. Consequence: two outstanding irecvs with the same
+///    (source, tag) pattern complete in the order wait/test is called on
+///    them, not the order they were posted. Distinct tags (as in the
+///    Cannon/SUMMA loops) are unaffected by this deviation.
+///  - Wildcards (kAnySource/kAnyTag) are allowed on irecv.
+/// Requests are move-only; waiting twice is a no-op (the message is
+/// retained and returned again).
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& other) noexcept { *this = std::move(other); }
+  Request& operator=(Request&& other) noexcept {
+    comm_ = std::exchange(other.comm_, nullptr);
+    kind_ = std::exchange(other.kind_, Kind::kNone);
+    peer_ = other.peer_;
+    tag_ = other.tag_;
+    done_ = std::exchange(other.done_, false);
+    message_ = std::move(other.message_);
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// True once the operation has completed (always true for sends).
+  bool done() const { return done_; }
+  /// True for a default-constructed or moved-from handle.
+  bool empty() const { return kind_ == Kind::kNone; }
+
+  /// Attempts completion without blocking; returns done().
+  bool test();
+  /// Blocks until complete and returns the message (empty for sends).
+  Message& wait();
+
+ private:
+  friend class Comm;
+  enum class Kind { kNone, kSend, kRecv };
+  Request(Comm* comm, Kind kind, int peer, int tag, bool done)
+      : comm_(comm), kind_(kind), peer_(peer), tag_(tag), done_(done) {}
+
+  Comm* comm_ = nullptr;
+  Kind kind_ = Kind::kNone;
+  int peer_ = kAnySource;
+  int tag_ = kAnyTag;
+  bool done_ = false;
+  Message message_;
+};
+
+/// Blocks until every request in `requests` has completed.
+void wait_all(std::span<Request> requests);
 
 class Comm {
  public:
@@ -55,6 +113,25 @@ class Comm {
 
   /// Non-blocking probe for a matching message.
   bool iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  // --- non-blocking point-to-point ---------------------------------------
+
+  /// Non-blocking buffered send. The payload is copied before this
+  /// returns (MPI_Bsend semantics), so the returned request is already
+  /// complete and the caller may immediately reuse or free the buffer.
+  Request isend_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Non-blocking receive: returns a request that matches (source, tag)
+  /// lazily at wait()/test() time. See the Request class comment for the
+  /// same-pattern ordering caveat.
+  Request irecv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking counterpart of recv_message: delivers a matching
+  /// message if one is available right now. Under a fault injector this
+  /// services the reliable channels (acks, dedup, reordering) without
+  /// blocking; a delayed (deferred) message only surfaces via a blocking
+  /// receive, so test-loops should eventually fall back to wait().
+  bool try_recv_message(int source, int tag, Message& out);
 
   /// Reliable-delivery quiesce: blocks until every send this rank issued
   /// has been acknowledged, retransmitting as needed. Called by run_world
@@ -157,6 +234,9 @@ class Comm {
 
   void reliable_send(int dest, int tag, std::span<const std::byte> payload);
   Message reliable_recv(int source, int tag);
+  /// Non-blocking reliable receive: drains acks/duplicates and returns
+  /// false when nothing deliverable is queued right now.
+  bool reliable_try_recv(int source, int tag, Message& out);
   /// Puts one attempt of `p` on the wire, applying the injected fault.
   void transmit(const PendingSend& p);
   /// Drains acks and retransmits overdue sends; throws ChaosError once a

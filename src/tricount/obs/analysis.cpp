@@ -60,6 +60,10 @@ RunReport RunReport::from_metrics_json(const json::Value& root) {
     step.phase = entry.get("phase").as_string();
     step.declared_seconds = entry.get("modeled_seconds").as_number();
     step.declared_comm_seconds = entry.get("modeled_comm_seconds").as_number();
+    // Absent in overlap-off artifacts (and all pre-overlap baselines).
+    if (const json::Value* overlapped = entry.find("overlapped")) {
+      step.overlapped = overlapped->as_bool();
+    }
     const json::Value& per_rank = entry.get("per_rank");
     for (std::size_t r = 0; r < per_rank.size(); ++r) {
       const json::Value& row = per_rank.at(r);
@@ -119,7 +123,17 @@ Analysis analyze(const RunReport& report, double tolerance) {
         step.ranks.empty()
             ? 0.0
             : sum_compute / static_cast<double>(step.ranks.size());
-    sa.comm_seconds = report.model.cost(max_messages, max_bytes) + max_comm_cpu;
+    // Overlap charges only the network time that exceeds the compute it
+    // hid behind; `network - 0.0` is bit-identical to `network`, so the
+    // non-overlapped window reproduces pre-overlap artifacts exactly
+    // (mirror of PhaseBreakdown::modeled_comm_seconds).
+    const double network = report.model.cost(max_messages, max_bytes);
+    const double hidden =
+        step.overlapped ? std::min(max_compute, network) : 0.0;
+    sa.overlapped = step.overlapped;
+    sa.hidden_seconds = hidden;
+    sa.overlap_efficiency = network > 0.0 ? hidden / network : 0.0;
+    sa.comm_seconds = network - hidden + max_comm_cpu;
     sa.window_seconds = max_compute + sa.comm_seconds;
     sa.imbalance = sa.avg_compute_seconds > 0.0
                        ? sa.max_compute_seconds / sa.avg_compute_seconds
@@ -128,9 +142,15 @@ Analysis analyze(const RunReport& report, double tolerance) {
     double min_slack = 0.0;
     for (std::size_t r = 0; r < step.ranks.size(); ++r) {
       const RankSample& s = step.ranks[r];
-      const double used = s.compute_seconds +
-                          (report.model.cost(s.messages, s.bytes) +
-                           s.comm_cpu_seconds);
+      // Overlapped: the rank's network time rides behind its compute, so
+      // it occupies max(compute, network) plus the packing CPU a posted
+      // request cannot hide. Per-rank network cost is monotone in the
+      // per-component maxes, so slack stays non-negative.
+      const double rank_network = report.model.cost(s.messages, s.bytes);
+      const double used =
+          step.overlapped
+              ? std::max(s.compute_seconds, rank_network) + s.comm_cpu_seconds
+              : s.compute_seconds + (rank_network + s.comm_cpu_seconds);
       const double slack = sa.window_seconds - used;
       sa.used_seconds.push_back(used);
       sa.slack_seconds.push_back(slack);
@@ -306,8 +326,21 @@ void print_report(const RunReport& report, const Analysis& analysis,
 
   util::print_heading("supersteps (critical path)");
   {
-    util::Table table({"phase", "name", "window s", "comm s", "bounding rank",
-                       "min slack s", "imbalance"});
+    // The overlap columns appear only when the artifact has overlapped
+    // supersteps, so overlap-off reports render unchanged.
+    bool any_overlap = false;
+    for (const StepAnalysis& step : analysis.steps) {
+      any_overlap = any_overlap || step.overlapped;
+    }
+    std::vector<std::string> headers = {"phase",         "name",
+                                        "window s",      "comm s",
+                                        "bounding rank", "min slack s",
+                                        "imbalance"};
+    if (any_overlap) {
+      headers.push_back("hidden s");
+      headers.push_back("overlap %");
+    }
+    util::Table table(std::move(headers));
     for (const StepAnalysis& step : analysis.steps) {
       const double min_slack =
           step.bounding_rank >= 0
@@ -321,6 +354,14 @@ void print_report(const RunReport& report, const Analysis& analysis,
           .cell(static_cast<std::int64_t>(step.bounding_rank))
           .cell(min_slack, 6)
           .cell(step.imbalance, 3);
+      if (any_overlap) {
+        if (step.overlapped) {
+          table.cell(step.hidden_seconds, 6)
+              .cell(100.0 * step.overlap_efficiency, 1);
+        } else {
+          table.dash().dash();
+        }
+      }
     }
     table.print();
   }
@@ -423,6 +464,24 @@ void print_report(const RunReport& report, const Analysis& analysis,
       }
       table.print();
     }
+  }
+
+  // Overlap summary (docs/overlap.md): the tc.overlap.* block exists only
+  // in artifacts from overlapped runs, so other reports are unchanged.
+  if (const auto steps_it = report.metrics.counters.find("tc.overlap.steps");
+      steps_it != report.metrics.counters.end()) {
+    const auto gauge = [&](const char* name) {
+      const auto it = report.metrics.gauges.find(name);
+      return it == report.metrics.gauges.end() ? 0.0 : it->second;
+    };
+    const double hidden = gauge("tc.overlap.hidden_seconds");
+    const double exposed = gauge("tc.overlap.exposed_network_seconds");
+    const double network = hidden + exposed;
+    util::print_heading("overlap");
+    std::printf("%llu overlapped supersteps: %.6f s of network time hidden "
+                "behind compute, %.6f s exposed (%.1f%% efficiency)\n",
+                static_cast<unsigned long long>(steps_it->second), hidden,
+                exposed, network > 0.0 ? 100.0 * hidden / network : 0.0);
   }
 
   util::print_heading("alpha-beta consistency");
@@ -582,6 +641,14 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
           lint.counter(entry, "max_messages", where);
           lint.counter(entry, "max_bytes", where);
           lint.counter(entry, "total_bytes", where);
+          // Optional: present only in artifacts from overlapped runs.
+          if (const json::Value* overlapped = entry.find("overlapped")) {
+            try {
+              (void)overlapped->as_bool();
+            } catch (const std::exception&) {
+              lint.flag(where + ": 'overlapped' is not a boolean");
+            }
+          }
           const json::Value* per_rank = lint.require(entry, "per_rank", where);
           if (per_rank != nullptr) {
             if (!per_rank->is_array() || per_rank->size() != ranks) {
@@ -886,6 +953,12 @@ DiffResult diff_metrics(const json::Value& baseline,
         diff.mismatch(where, "superstep name/phase differs: '" + b.name +
                                  "' vs '" + c.name + "'");
         continue;
+      }
+      // Same counts under a different overlap mode still change the
+      // modeled window; flag the mode flip itself as structural.
+      if (b.overlapped != c.overlapped) {
+        diff.mismatch(where + " ('" + b.name + "') overlapped",
+                      "comm/compute overlap mode differs");
       }
       std::uint64_t b_messages = 0, b_bytes = 0, c_messages = 0, c_bytes = 0;
       for (const RankSample& s : b.ranks) {

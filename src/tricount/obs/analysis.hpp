@@ -57,6 +57,10 @@ struct Step {
   std::vector<RankSample> ranks;
   double declared_seconds = 0.0;       ///< steps[].modeled_seconds
   double declared_comm_seconds = 0.0;  ///< steps[].modeled_comm_seconds
+  /// steps[].overlapped — produced with comm/compute overlap, so the
+  /// window charges max(compute, network) instead of the sum. The key is
+  /// absent in overlap-off and pre-overlap artifacts (defaults false).
+  bool overlapped = false;
 };
 
 /// A parsed metrics artifact — everything the analyzer needs.
@@ -86,8 +90,15 @@ struct StepAnalysis {
   double avg_compute_seconds = 0.0;
   double imbalance = 1.0;  ///< max/avg compute (1.0 when no compute)
   int bounding_rank = -1;  ///< rank with the least slack (-1: no ranks)
-  /// Per rank: time in use (own compute + α–β comm + packing CPU) and
-  /// slack (window - used; non-negative by construction of the window).
+  /// Overlap view (zeros for non-overlapped steps): the α–β network
+  /// seconds hidden behind compute, and hidden / network — the fraction
+  /// of the wire time this step did not pay for.
+  bool overlapped = false;
+  double hidden_seconds = 0.0;
+  double overlap_efficiency = 0.0;
+  /// Per rank: time in use (own compute + α–β comm + packing CPU; with
+  /// overlap, max(compute, α–β comm) + packing CPU) and slack (window -
+  /// used; non-negative by construction of the window).
   std::vector<double> used_seconds;
   std::vector<double> slack_seconds;
 };

@@ -26,7 +26,7 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::fputs(usage().c_str(), stdout);
-      failed_ = true;
+      help_requested_ = true;
       return false;
     }
     if (arg.rfind("--", 0) != 0) {

@@ -23,7 +23,8 @@ class ArgParser {
                 const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) if --help was given
-  /// or parsing failed; callers should exit(0)/exit(1) accordingly.
+  /// or parsing failed; check help_requested() to tell the two apart —
+  /// `return args.help_requested() ? 0 : 1;` is the call-site idiom.
   bool parse(int argc, const char* const* argv);
 
   std::string get(const std::string& name) const;
@@ -34,7 +35,10 @@ class ArgParser {
   /// Comma-separated integer list, e.g. "16,25,36" -> {16, 25, 36}.
   std::vector<std::int64_t> get_int_list(const std::string& name) const;
 
+  /// True only on a genuine parse error — --help/-h is not a failure.
   bool parse_failed() const { return failed_; }
+  /// True when parse() stopped because --help/-h was given.
+  bool help_requested() const { return help_requested_; }
   std::string usage() const;
 
  private:
@@ -49,6 +53,7 @@ class ArgParser {
   std::map<std::string, Option> options_;
   std::map<std::string, std::string> values_;
   bool failed_ = false;
+  bool help_requested_ = false;
 };
 
 }  // namespace tricount::util

@@ -1,6 +1,9 @@
 #include "tricount/util/cost_model.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace tricount::util {
 
@@ -14,11 +17,18 @@ AlphaBetaModel AlphaBetaModel::from_string(const char* spec) {
   if (spec == nullptr) return model;
   double alpha = 0.0;
   double beta = 0.0;
-  if (std::sscanf(spec, "%lf,%lf", &alpha, &beta) == 2 && alpha >= 0.0 &&
-      beta >= 0.0) {
-    model.alpha_seconds = alpha;
-    model.beta_seconds_per_byte = beta;
+  int consumed = 0;
+  // %n records how much of the spec the two conversions ate; anything
+  // left over ("1e-6,2e-10junk") is a malformed spec, not a valid one.
+  if (std::sscanf(spec, " %lf , %lf %n", &alpha, &beta, &consumed) != 2 ||
+      spec[consumed] != '\0' || alpha < 0.0 || beta < 0.0) {
+    throw std::invalid_argument(
+        std::string("cost model: expected \"alpha,beta\" (two non-negative "
+                    "seconds values), got \"") +
+        spec + "\"");
   }
+  model.alpha_seconds = alpha;
+  model.beta_seconds_per_byte = beta;
   return model;
 }
 

@@ -26,8 +26,11 @@ struct AlphaBetaModel {
   /// `bytes` bytes.
   double cost(std::uint64_t messages, std::uint64_t bytes) const;
 
-  /// Parses "alpha,beta" from an environment-style string; returns the
-  /// default model on parse failure.
+  /// Parses "alpha,beta" (two non-negative doubles, nothing else — a
+  /// trailing "junk" suffix is rejected, not ignored). Returns the
+  /// default model for a null spec; throws std::invalid_argument on a
+  /// malformed one, so a mistyped --model can never silently benchmark
+  /// with defaults.
   static AlphaBetaModel from_string(const char* spec);
 };
 

@@ -26,6 +26,7 @@
 #include "tricount/core/summa2d.hpp"
 #include "tricount/graph/generators.hpp"
 #include "tricount/graph/serial_count.hpp"
+#include "tricount/kernels/kernels.hpp"
 #include "tricount/mpisim/runtime.hpp"
 #include "tricount/util/argparse.hpp"
 #include "tricount/util/rng.hpp"
@@ -71,10 +72,12 @@ chaos::FaultSpec mixed_spec(std::uint64_t seed) {
 /// One 2D Cannon campaign run; returns the chaos tallies so callers can
 /// assert on crash/recovery counts.
 mpisim::ChaosCounters expect_exact_2d(const graph::EdgeList& g, int ranks,
-                                      const chaos::FaultSpec& spec) {
+                                      const chaos::FaultSpec& spec,
+                                      const core::Config& config = {}) {
   const graph::TriangleCount expected =
       graph::count_triangles_serial(graph::Csr::from_edges(g));
   core::RunOptions options;
+  options.config = config;
   options.chaos = std::make_shared<const chaos::FaultPlan>(spec, ranks);
   const core::RunResult r = core::count_triangles_2d(g, ranks, options);
   EXPECT_TRUE(r.chaos_enabled);
@@ -86,10 +89,12 @@ mpisim::ChaosCounters expect_exact_2d(const graph::EdgeList& g, int ranks,
 /// One SUMMA campaign run on a qr x qc grid.
 mpisim::ChaosCounters expect_exact_summa(const graph::EdgeList& g, int rows,
                                          int cols,
-                                         const chaos::FaultSpec& spec) {
+                                         const chaos::FaultSpec& spec,
+                                         const core::Config& config = {}) {
   const graph::TriangleCount expected =
       graph::count_triangles_serial(graph::Csr::from_edges(g));
   core::SummaOptions options;
+  options.config = config;
   options.grid_rows = rows;
   options.grid_cols = cols;
   options.chaos =
@@ -164,6 +169,55 @@ TEST(ChaosCampaign, CrashSumma) {
     crashes += total.crashes;
   }
   EXPECT_EQ(crashes, 12u);
+}
+
+TEST(ChaosCampaign, OverlappedMixedFaults) {
+  // Comm/compute overlap keeps requests in flight across the superstep;
+  // they must survive drop/dup/reorder exactly like blocking receives.
+  core::Config config;
+  config.overlap = true;
+  for (int i = 0; i < 24; ++i) {
+    const std::uint64_t seed = run_seed(0x0517, i);
+    const int ranks = (i % 2 == 0) ? 4 : 16;
+    expect_exact_2d(campaign_graph(seed), ranks, mixed_spec(seed), config);
+  }
+  const int grids[][2] = {{2, 2}, {2, 3}, {4, 4}};
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t seed = run_seed(0x0518, i);
+    const int* grid = grids[i % 3];
+    expect_exact_summa(campaign_graph(seed), grid[0], grid[1],
+                       mixed_spec(seed), config);
+  }
+}
+
+TEST(ChaosCampaign, OverlappedCrashRecovers) {
+  core::Config config;
+  config.overlap = true;
+  std::uint64_t crashes = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t seed = run_seed(0x0519, i);
+    const int ranks = (i % 2 == 0) ? 4 : 16;
+    const int q = (ranks == 4) ? 2 : 4;
+    chaos::FaultSpec spec = mixed_spec(seed);
+    spec.crash_superstep = i % q;
+    const mpisim::ChaosCounters total =
+        expect_exact_2d(campaign_graph(seed), ranks, spec, config);
+    EXPECT_EQ(total.crashes, 1u) << "chaos seed=" << seed;
+    crashes += total.crashes;
+  }
+  const int grids[][3] = {{2, 2, 2}, {2, 3, 6}, {4, 4, 4}};
+  for (int i = 0; i < 6; ++i) {
+    const std::uint64_t seed = run_seed(0x051a, i);
+    const int* grid = grids[i % 3];
+    chaos::FaultSpec spec = mixed_spec(seed);
+    spec.crash_superstep = i % grid[2];
+    const mpisim::ChaosCounters total =
+        expect_exact_summa(campaign_graph(seed), grid[0], grid[1], spec,
+                           config);
+    EXPECT_EQ(total.crashes, 1u) << "chaos seed=" << seed;
+    crashes += total.crashes;
+  }
+  EXPECT_EQ(crashes, 16u);
 }
 
 TEST(ChaosCampaign, DropHeavyRetransmit) {
@@ -377,6 +431,59 @@ TEST(ChaosRecovery, CrashAtSuperstepRecoversExactCount) {
   EXPECT_EQ(total.crashes, 1u);
   EXPECT_EQ(total.recoveries, 1u);
   EXPECT_GT(total.recovery_seconds, 0.0);
+}
+
+TEST(ChaosRecovery, CrashRollsBackProbeCounter) {
+  // The scratch probe tally is cumulative across supersteps; a crash that
+  // replays a superstep must first restore the checkpointed tally or the
+  // replayed probes double-count. Compare against a fault-free run. The
+  // campaign graphs are too small to collide in the hash set, so use an
+  // RMAT big enough that classic probing provably probes.
+  graph::RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  params.seed = 1;
+  const graph::EdgeList g = graph::rmat(params);
+  core::Config config;
+  config.kernel = kernels::KernelPolicy::kHash;
+  config.modified_hashing = false;  // classic probing: collisions probe
+  core::RunOptions clean;
+  clean.config = config;
+  const core::RunResult fault_free = core::count_triangles_2d(g, 4, clean);
+  const std::uint64_t expected_probes = fault_free.total_kernel().probes;
+  ASSERT_GT(expected_probes, 0u);
+
+  for (int superstep = 0; superstep < 2; ++superstep) {
+    chaos::FaultSpec spec;
+    spec.seed = run_seed(0xab51, superstep);
+    spec.crash_superstep = superstep;
+    core::RunOptions crashed;
+    crashed.config = config;
+    crashed.chaos = std::make_shared<const chaos::FaultPlan>(spec, 4);
+    const core::RunResult r = core::count_triangles_2d(g, 4, crashed);
+    EXPECT_EQ(r.total_chaos().crashes, 1u);
+    EXPECT_EQ(r.triangles, fault_free.triangles);
+    EXPECT_EQ(r.total_kernel().probes, expected_probes)
+        << "crash at superstep " << superstep
+        << " double-counted replayed probes";
+  }
+
+  // Same accounting on the SUMMA loop.
+  core::SummaOptions summa_clean;
+  summa_clean.config = config;
+  summa_clean.grid_rows = 2;
+  summa_clean.grid_cols = 2;
+  const core::SummaResult summa_free = core::count_triangles_summa(g, summa_clean);
+  ASSERT_GT(summa_free.kernel.probes, 0u);
+  chaos::FaultSpec spec;
+  spec.seed = run_seed(0xab52, 0);
+  spec.crash_superstep = 1;
+  core::SummaOptions summa_crashed = summa_clean;
+  summa_crashed.chaos = std::make_shared<const chaos::FaultPlan>(spec, 4);
+  const core::SummaResult sr = core::count_triangles_summa(g, summa_crashed);
+  EXPECT_EQ(sr.total_chaos().crashes, 1u);
+  EXPECT_EQ(sr.triangles, summa_free.triangles);
+  EXPECT_EQ(sr.kernel.probes, summa_free.kernel.probes);
 }
 
 TEST(ChaosRecovery, CheckpointWithoutChaosStaysExact) {

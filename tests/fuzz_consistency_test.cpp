@@ -69,6 +69,7 @@ core::Config random_config(util::Xoshiro256& rng) {
   config.modified_hashing = rng.bounded(2) == 0;
   config.backward_early_exit = rng.bounded(2) == 0;
   config.blob_comm = rng.bounded(2) == 0;
+  config.overlap = rng.bounded(2) == 0;
   return config;
 }
 

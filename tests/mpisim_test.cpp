@@ -118,6 +118,152 @@ TEST(PointToPoint, IprobeSeesPendingMessage) {
   });
 }
 
+// --- non-blocking requests -------------------------------------------------
+
+TEST(Requests, IsendCompletesImmediatelyAndBufferIsReusable) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> buffer{1, 2, 3};
+      Request req =
+          comm.isend_bytes(1, 7, std::as_bytes(std::span<const int>(buffer)));
+      EXPECT_TRUE(req.done());  // buffered send: copied before return
+      buffer.assign({9, 9, 9});  // must not affect the in-flight payload
+      Message& m = req.wait();
+      EXPECT_TRUE(m.payload.empty());  // send requests carry no message
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 7), (std::vector<int>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Requests, IrecvWaitDeliversPayload) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 11, std::vector<int>{4, 5});
+    } else {
+      Request req = comm.irecv(0, 11);
+      EXPECT_FALSE(req.done());
+      Message& m = req.wait();
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 11);
+      EXPECT_EQ(Comm::unpack<int>(m.payload), (std::vector<int>{4, 5}));
+      // Waiting twice is a no-op and returns the retained message.
+      EXPECT_EQ(Comm::unpack<int>(req.wait().payload),
+                (std::vector<int>{4, 5}));
+    }
+  });
+}
+
+TEST(Requests, TestPollsWithoutBlocking) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      (void)comm.recv_value<int>(1, 2);  // sync: peer posted its irecv
+      comm.send_value<int>(1, 1, 42);
+    } else {
+      Request req = comm.irecv(0, 1);
+      EXPECT_FALSE(req.test());  // nothing sent yet
+      comm.send_value<int>(0, 2, 0);
+      while (!req.test()) {
+      }
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(Comm::unpack<int>(req.wait().payload), std::vector<int>{42});
+    }
+  });
+}
+
+TEST(Requests, OutOfOrderCompletionAcrossTags) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Sent in tag order 21 then 22; receiver completes 22 first.
+      comm.send_value<int>(1, 21, 100);
+      comm.send_value<int>(1, 22, 200);
+    } else {
+      Request first = comm.irecv(0, 21);
+      Request second = comm.irecv(0, 22);
+      EXPECT_EQ(Comm::unpack<int>(second.wait().payload),
+                std::vector<int>{200});
+      EXPECT_FALSE(first.done());
+      EXPECT_EQ(Comm::unpack<int>(first.wait().payload),
+                std::vector<int>{100});
+    }
+  });
+}
+
+TEST(Requests, AnySourceIrecvMatchesAnyone) {
+  run_world(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> got;
+      for (int i = 0; i < 3; ++i) {
+        Request req = comm.irecv(kAnySource, 5);
+        got.push_back(Comm::unpack<int>(req.wait().payload).at(0));
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+    } else {
+      comm.send_value<int>(0, 5, comm.rank());
+    }
+  });
+}
+
+TEST(Requests, WaitAllCompletesEveryRequest) {
+  run_world(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Request> requests;
+      requests.push_back(Request());  // empty handles are skipped
+      for (int src = 1; src < 4; ++src) {
+        requests.push_back(comm.irecv(src, 6));
+      }
+      wait_all(requests);
+      std::vector<int> got;
+      for (Request& r : requests) {
+        if (!r.empty()) got.push_back(Comm::unpack<int>(r.wait().payload).at(0));
+      }
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+    } else {
+      comm.send_value<int>(0, 6, comm.rank() * 10);
+    }
+  });
+}
+
+TEST(Requests, MoveTransfersOwnership) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 13, 7);
+    } else {
+      Request req = comm.irecv(0, 13);
+      Request moved = std::move(req);
+      EXPECT_TRUE(req.empty());  // NOLINT(bugprone-use-after-move)
+      EXPECT_FALSE(moved.empty());
+      EXPECT_EQ(Comm::unpack<int>(moved.wait().payload), std::vector<int>{7});
+    }
+  });
+}
+
+TEST(Requests, WaitOnEmptyRequestThrows) {
+  run_world(1, [](Comm&) {
+    Request empty;
+    EXPECT_THROW(empty.wait(), std::logic_error);
+  });
+}
+
+TEST(Requests, CountersChargeCompletionNotPosting) {
+  const auto counters = run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      (void)comm.isend_bytes(
+          1, 2, std::as_bytes(std::span<const std::uint64_t>(
+                    std::vector<std::uint64_t>{1, 2, 3, 4})));
+    } else {
+      Request req = comm.irecv(0, 2);
+      req.wait();
+    }
+  });
+  EXPECT_EQ(counters[0].messages_sent, 1u);
+  EXPECT_EQ(counters[0].bytes_sent, 32u);
+  EXPECT_EQ(counters[1].messages_received, 1u);
+  EXPECT_EQ(counters[1].bytes_received, 32u);
+}
+
 TEST(Runtime, CountersTrackTraffic) {
   const auto counters = run_world(2, [](Comm& comm) {
     if (comm.rank() == 0) {

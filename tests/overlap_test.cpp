@@ -1,0 +1,185 @@
+// Comm/compute overlap (docs/overlap.md): exactness, the overlap-aware
+// α–β accounting (window = max(compute, network) + residue for overlapped
+// supersteps), artifact schema additions, and the acceptance criterion
+// that overlapping strictly reduces the tc comm fraction on a 16-rank
+// RMAT run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "tricount/core/artifacts.hpp"
+#include "tricount/core/driver.hpp"
+#include "tricount/core/summa2d.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/serial_count.hpp"
+#include "tricount/obs/analysis.hpp"
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/metrics.hpp"
+
+namespace {
+
+using namespace tricount;
+namespace analysis = obs::analysis;
+
+graph::EdgeList bench_rmat() {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 8;
+  params.seed = 7;
+  return graph::simplify(graph::rmat(params));
+}
+
+core::RunResult run_2d(const graph::EdgeList& g, int ranks, bool overlap) {
+  core::RunOptions options;
+  options.config.overlap = overlap;
+  return core::count_triangles_2d(g, ranks, options);
+}
+
+/// Overlapped windows are max(a, b) + c instead of a + (b + c); the two
+/// associations can differ by an ulp, so per-rank slack may be a hair
+/// negative instead of exactly >= 0.
+constexpr double kSlackFloor = -1e-12;
+
+// ---------------------------------------------------------------------------
+// Exactness
+
+TEST(Overlap, CannonCountMatchesSerialAndNonOverlapped) {
+  const graph::EdgeList g = bench_rmat();
+  const graph::TriangleCount expected =
+      graph::count_triangles_serial(graph::Csr::from_edges(g));
+  for (const int ranks : {4, 16}) {
+    const core::RunResult off = run_2d(g, ranks, false);
+    const core::RunResult on = run_2d(g, ranks, true);
+    EXPECT_EQ(off.triangles, expected) << "ranks=" << ranks;
+    EXPECT_EQ(on.triangles, expected) << "ranks=" << ranks;
+    // Overlap changes scheduling, never work: kernel tallies agree.
+    EXPECT_EQ(on.total_kernel().lookups, off.total_kernel().lookups);
+  }
+}
+
+TEST(Overlap, SummaCountMatchesSerial) {
+  const graph::EdgeList g = bench_rmat();
+  const graph::TriangleCount expected =
+      graph::count_triangles_serial(graph::Csr::from_edges(g));
+  const int grids[][2] = {{2, 2}, {2, 3}, {4, 4}};
+  for (const auto& grid : grids) {
+    core::SummaOptions options;
+    options.grid_rows = grid[0];
+    options.grid_cols = grid[1];
+    options.config.overlap = true;
+    const core::SummaResult r = core::count_triangles_summa(g, options);
+    EXPECT_EQ(r.triangles, expected) << grid[0] << "x" << grid[1];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+// The tentpole acceptance criterion: on a 16-rank RMAT run, every
+// overlapped superstep's modeled time charges max(compute, network) +
+// residue — verified by the analyzer's α–β reconciliation — and the tc
+// comm fraction strictly decreases against overlap-off on the same input.
+TEST(Overlap, SixteenRankRmatHidesNetworkAndReducesCommFraction) {
+  const graph::EdgeList g = bench_rmat();
+  const core::RunResult off = run_2d(g, 16, false);
+  const core::RunResult on = run_2d(g, 16, true);
+
+  const analysis::Analysis a_off = analysis::analyze(core::build_run_report(off));
+  const analysis::Analysis a_on = analysis::analyze(core::build_run_report(on));
+  EXPECT_TRUE(a_off.consistency_issues.empty());
+  EXPECT_TRUE(a_on.consistency_issues.empty());
+
+  // All tc supersteps except the last (nothing left to prefetch) overlap.
+  std::size_t overlapped = 0;
+  for (const analysis::StepAnalysis& step : a_on.steps) {
+    if (!step.overlapped) continue;
+    ++overlapped;
+    EXPECT_EQ(step.phase, "tc") << step.name;
+    EXPECT_GE(step.hidden_seconds, 0.0) << step.name;
+    EXPECT_GE(step.overlap_efficiency, 0.0) << step.name;
+    EXPECT_LE(step.overlap_efficiency, 1.0) << step.name;
+    for (const double slack : step.slack_seconds) {
+      EXPECT_GE(slack, kSlackFloor) << step.name;
+    }
+  }
+  EXPECT_EQ(overlapped, 3u);  // q - 1 of the q = 4 shifts
+  for (const analysis::StepAnalysis& step : a_off.steps) {
+    EXPECT_FALSE(step.overlapped) << step.name;
+    EXPECT_EQ(step.hidden_seconds, 0.0) << step.name;
+  }
+
+  // Hiding network time can only shrink the comm share of the tc phase.
+  EXPECT_LT(a_on.tc.comm_seconds, a_off.tc.comm_seconds);
+  EXPECT_LT(a_on.tc.comm_fraction, a_off.tc.comm_fraction);
+}
+
+TEST(Overlap, WindowChargesMaxOfComputeAndNetwork) {
+  const core::RunResult on = run_2d(bench_rmat(), 16, true);
+  const analysis::RunReport report = core::build_run_report(on);
+  const analysis::Analysis a = analysis::analyze(report);
+  ASSERT_EQ(report.steps.size(), a.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    if (!a.steps[i].overlapped) continue;
+    // Re-derive the window from the raw per-rank samples.
+    double max_compute = 0.0, max_comm_cpu = 0.0;
+    std::uint64_t max_messages = 0, max_bytes = 0;
+    for (const analysis::RankSample& s : report.steps[i].ranks) {
+      max_compute = std::max(max_compute, s.compute_seconds);
+      max_comm_cpu = std::max(max_comm_cpu, s.comm_cpu_seconds);
+      max_messages = std::max(max_messages, s.messages);
+      max_bytes = std::max(max_bytes, s.bytes);
+    }
+    const double network = report.model.cost(max_messages, max_bytes);
+    const double hidden = std::min(max_compute, network);
+    EXPECT_EQ(a.steps[i].hidden_seconds, hidden) << a.steps[i].name;
+    EXPECT_EQ(a.steps[i].window_seconds,
+              max_compute + ((network - hidden) + max_comm_cpu))
+        << a.steps[i].name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact schema
+
+TEST(Overlap, MetricsEmittedOnlyWhenOverlapEnabled) {
+  const graph::EdgeList g = bench_rmat();
+  const obs::Snapshot off = core::build_run_snapshot(run_2d(g, 16, false));
+  const obs::Snapshot on = core::build_run_snapshot(run_2d(g, 16, true));
+
+  EXPECT_EQ(off.counters.count("tc.overlap.steps"), 0u);
+  EXPECT_EQ(off.gauges.count("tc.overlap.hidden_seconds"), 0u);
+
+  ASSERT_EQ(on.counters.count("tc.overlap.steps"), 1u);
+  EXPECT_EQ(on.counters.at("tc.overlap.steps"), 3u);
+  ASSERT_EQ(on.gauges.count("tc.overlap.hidden_seconds"), 1u);
+  EXPECT_GE(on.gauges.at("tc.overlap.hidden_seconds"), 0.0);
+  ASSERT_EQ(on.gauges.count("tc.overlap.exposed_network_seconds"), 1u);
+  EXPECT_EQ(on.histograms.count("tc.overlap.step_efficiency"), 1u);
+}
+
+TEST(Overlap, ArtifactJsonRoundTripsAndLintsClean) {
+  const core::RunResult on = run_2d(bench_rmat(), 16, true);
+  const obs::json::Value artifact = core::build_run_metrics(on);
+  const obs::json::Value reparsed = obs::json::Value::parse(artifact.dump(2));
+  EXPECT_TRUE(analysis::lint_metrics(reparsed).empty());
+
+  const analysis::RunReport report =
+      analysis::RunReport::from_metrics_json(reparsed);
+  const analysis::Analysis a = analysis::analyze(report);
+  EXPECT_TRUE(a.consistency_issues.empty());
+  EXPECT_EQ(a.tc.modeled_seconds, on.tc_modeled_seconds());
+}
+
+TEST(Overlap, DiffFlagsOverlapModeMismatch) {
+  const graph::EdgeList g = bench_rmat();
+  const obs::json::Value off = core::build_run_metrics(run_2d(g, 16, false));
+  const obs::json::Value on = core::build_run_metrics(run_2d(g, 16, true));
+
+  EXPECT_TRUE(analysis::diff_metrics(off, off).ok);
+  EXPECT_TRUE(analysis::diff_metrics(on, on).ok);
+  EXPECT_FALSE(analysis::diff_metrics(off, on).ok);
+}
+
+}  // namespace

@@ -23,6 +23,10 @@
 #             --chaos-seed (so the injector stays null) and diff against
 #             the baseline — must exit 0, proving the chaos interposer is
 #             free when disarmed (docs/chaos.md).
+#   overlapoff  re-run with --no-overlap spelled out and diff against the
+#             baseline — must exit 0, proving the overlap accounting path
+#             (hidden = 0 when off) leaves artifacts byte-comparable to
+#             the pre-overlap baselines (docs/overlap.md).
 #
 # Baseline refresh (after an intentional perf-affecting change):
 #   regenerate each artifact with the commands below and copy it over
@@ -107,6 +111,23 @@ elseif(MODE STREQUAL "chaosoff")
     message(FATAL_ERROR
             "perf_gate: chaos-disabled run diffs dirty against ${BASELINE} "
             "(${status}) — the disarmed interposer is not free")
+  endif()
+elseif(MODE STREQUAL "overlapoff")
+  if(NOT EXISTS ${BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${BASELINE}")
+  endif()
+  set(OVERLAPOFF ${WORK_DIR}/${DATASET}_r${RANKS}_overlapoff.json)
+  # --no-overlap must reproduce the baseline: with overlap off the model
+  # charges compute + network exactly as before the overlap feature, and
+  # no tc.overlap.* metrics may appear.
+  run_count(${OVERLAPOFF} --no-overlap)
+  execute_process(
+    COMMAND ${PERF} diff ${BASELINE} ${OVERLAPOFF}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: overlap-disabled run diffs dirty against ${BASELINE} "
+            "(${status}) — the overlap-off path is not baseline-identical")
   endif()
 elseif(MODE STREQUAL "perturb")
   if(NOT EXISTS ${BASELINE})

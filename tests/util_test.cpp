@@ -197,6 +197,21 @@ TEST(ArgParse, UnknownOptionFails) {
   const char* argv[] = {"prog", "--bogus", "1"};
   EXPECT_FALSE(parser.parse(3, argv));
   EXPECT_TRUE(parser.parse_failed());
+  EXPECT_FALSE(parser.help_requested());
+}
+
+TEST(ArgParse, HelpIsNotAFailure) {
+  ArgParser parser("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.help_requested());
+  EXPECT_FALSE(parser.parse_failed());
+
+  ArgParser short_form("prog", "test");
+  const char* argv_h[] = {"prog", "-h"};
+  EXPECT_FALSE(short_form.parse(2, argv_h));
+  EXPECT_TRUE(short_form.help_requested());
+  EXPECT_FALSE(short_form.parse_failed());
 }
 
 TEST(ArgParse, UnregisteredGetThrows) {
@@ -281,9 +296,20 @@ TEST(CostModel, ParsesSpecString) {
   const AlphaBetaModel model = AlphaBetaModel::from_string("2e-6,4e-10");
   EXPECT_DOUBLE_EQ(model.alpha_seconds, 2e-6);
   EXPECT_DOUBLE_EQ(model.beta_seconds_per_byte, 4e-10);
-  // Bad spec falls back to defaults.
-  const AlphaBetaModel fallback = AlphaBetaModel::from_string("garbage");
-  EXPECT_GT(fallback.alpha_seconds, 0.0);
+  // Null spec (option not given) keeps the defaults.
+  const AlphaBetaModel defaults = AlphaBetaModel::from_string(nullptr);
+  EXPECT_GT(defaults.alpha_seconds, 0.0);
+}
+
+TEST(CostModel, RejectsMalformedSpec) {
+  EXPECT_THROW(AlphaBetaModel::from_string("garbage"), std::invalid_argument);
+  // sscanf would happily stop at the trailing junk; we must not.
+  EXPECT_THROW(AlphaBetaModel::from_string("1e-6,2e-10junk"),
+               std::invalid_argument);
+  EXPECT_THROW(AlphaBetaModel::from_string("1e-6"), std::invalid_argument);
+  EXPECT_THROW(AlphaBetaModel::from_string("-1e-6,2e-10"),
+               std::invalid_argument);
+  EXPECT_THROW(AlphaBetaModel::from_string(""), std::invalid_argument);
 }
 
 // --- time ------------------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -76,7 +77,7 @@ int cmd_generate(int argc, const char* const* argv) {
   args.add_option("beta", "0.1", "rewiring probability (ws)");
   args.add_option("seed", "1", "random seed");
   args.add_option("out", "graph.mtx", "output path (.txt / .mtx / .bin)");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const std::string type = args.get("type");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
@@ -116,7 +117,7 @@ int cmd_stats(int argc, const char* const* argv) {
   util::ArgParser args("tricount_cli stats", "Graph statistics.");
   args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
   args.add_flag("truss", false, "also compute the k-truss decomposition");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
   const graph::Csr csr = graph::Csr::from_edges(g);
@@ -226,6 +227,9 @@ int cmd_count(int argc, const char* const* argv) {
   args.add_flag("modified-hashing", true, "probe-free hashing (§5.2)");
   args.add_flag("backward-exit", true, "backward early exit (§5.2)");
   args.add_flag("blob", true, "blob communication (§5.2)");
+  args.add_flag("overlap", false,
+                "overlap block shifts / panel broadcasts with intersections "
+                "(2d and summa; docs/overlap.md)");
   args.add_option("trace-out", "",
                   "write a Chrome trace-event JSON timeline (2d only)");
   args.add_option("metrics-out", "",
@@ -244,7 +248,7 @@ int cmd_count(int argc, const char* const* argv) {
                   "hang-watchdog budget in seconds (0 = auto, negative = "
                   "off; see docs/chaos.md)");
   chaos::add_chaos_options(args);
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
   const int ranks = static_cast<int>(args.get_int("ranks"));
@@ -273,6 +277,7 @@ int cmd_count(int argc, const char* const* argv) {
   config.modified_hashing = args.get_bool("modified-hashing");
   config.backward_early_exit = args.get_bool("backward-exit");
   config.blob_comm = args.get_bool("blob");
+  config.overlap = args.get_bool("overlap");
   config.checkpoint = args.get_bool("checkpoint");
   const double watchdog = args.get_double("watchdog");
 
@@ -282,8 +287,13 @@ int cmd_count(int argc, const char* const* argv) {
     options.chaos = chaos::plan_from_args(args, ranks);
     options.watchdog_seconds = watchdog;
     if (!args.get("model").empty()) {
-      options.model =
-          util::AlphaBetaModel::from_string(args.get("model").c_str());
+      try {
+        options.model =
+            util::AlphaBetaModel::from_string(args.get("model").c_str());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "bad --model: %s\n", e.what());
+        return 1;
+      }
     }
     const auto result = core::count_triangles_2d(g, ranks, options);
     std::printf("triangles: %llu\n",
@@ -382,7 +392,7 @@ int cmd_pervertex(int argc, const char* const* argv) {
   args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
   args.add_option("ranks", "16", "simulated ranks (perfect square)");
   args.add_option("top", "10", "print the top-N triangle-dense vertices");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
   const graph::Csr csr = graph::Csr::from_edges(g);
@@ -416,7 +426,7 @@ int cmd_pervertex(int argc, const char* const* argv) {
 int cmd_truss(int argc, const char* const* argv) {
   util::ArgParser args("tricount_cli truss", "k-truss decomposition.");
   args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
   const graph::KtrussResult result = graph::ktruss_decomposition(g);
@@ -437,7 +447,7 @@ int cmd_convert(int argc, const char* const* argv) {
   args.add_option("in", "", "input path");
   args.add_option("out", "", "output path");
   args.add_flag("simplify", true, "canonicalize to a simple graph");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   graph::EdgeList g = load(args.get("in"));
   if (args.get_bool("simplify")) g = graph::simplify(std::move(g));
@@ -454,7 +464,7 @@ int cmd_summary(int argc, const char* const* argv) {
   args.add_option("file", "", "metrics JSON path");
   args.add_flag("comm-matrix", false, "also print the traffic heatmap");
   args.add_flag("steps", true, "print the per-superstep breakdown");
-  if (!args.parse(argc, argv)) return args.parse_failed() ? 0 : 1;
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const obs::json::Value root = obs::json::read_file(args.get("file"));
   if (const obs::json::Value* schema = root.find("schema");
