@@ -21,6 +21,7 @@
 #include "tricount/core/driver.hpp"
 #include "tricount/graph/generators.hpp"
 #include "tricount/kernels/kernels.hpp"
+#include "tricount/obs/build_info.hpp"
 #include "tricount/obs/json.hpp"
 #include "tricount/util/argparse.hpp"
 #include "tricount/util/table.hpp"
@@ -259,6 +260,10 @@ class JsonReport {
     obs::json::Value root = obs::json::Value::object();
     root.set("schema", "tricount.bench.v1");
     root.set("bench", name_);
+    // Build provenance at the top level — outside each record's
+    // `provenance` object, which tricount_perf diff compares for
+    // equality, so records from different builds still gate each other.
+    root.set("build", obs::build_info_json());
     obs::json::Value list = obs::json::Value::array();
     for (const obs::json::Value& record : records_) list.push_back(record);
     root.set("records", std::move(list));

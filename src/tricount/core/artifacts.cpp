@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tricount/obs/analysis.hpp"
+#include "tricount/obs/build_info.hpp"
 
 namespace tricount::core {
 
@@ -251,6 +252,9 @@ obs::json::Value build_run_metrics(const RunResult& result) {
   // v2 = v1 plus the per-kernel attribution counters (docs/kernels.md);
   // readers accept both.
   root.set("schema", "tricount.metrics.v2");
+  // Build provenance travels at the top level, where diff_metrics ignores
+  // unknown keys — artifacts stay comparable across builds.
+  root.set("build", obs::build_info_json());
 
   Value run = Value::object();
   run.set("ranks", result.ranks);

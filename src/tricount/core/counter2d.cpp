@@ -6,6 +6,7 @@
 
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/telemetry.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
 
@@ -51,6 +52,13 @@ BlockCsr shift_block(mpisim::Comm& comm, BlockCsr block, int dest, int src,
   (void)in_nonempty;
   return BlockCsr::from_entries(static_cast<VertexId>(in_rows),
                                 std::move(entries));
+}
+
+/// Approximate heap footprint of one block for the live-telemetry memory
+/// gauges — the CSR arrays, not an exact allocator tally.
+std::uint64_t block_bytes(const BlockCsr& b) {
+  return b.xadj().size() * sizeof(std::uint64_t) +
+         (b.adj().size() + b.nonempty().size()) * sizeof(VertexId);
 }
 
 }  // namespace
@@ -138,9 +146,39 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
   };
   Checkpoint ckpt;
 
+  // Live telemetry + flight recorder: publish superstep progress at every
+  // loop entry. The flight "superstep" counter doubles as the crash
+  // witness — on a chaos crash the dump's final superstep record is the
+  // superstep the recovery path reports.
+  obs::RankTelemetry* live = nullptr;
+  if (obs::Telemetry* telemetry = obs::Telemetry::current()) {
+    live = telemetry->for_caller();
+  }
+  auto publish_live = [&](int step) {
+    if (live != nullptr) {
+      live->phase.store("tc", std::memory_order_relaxed);
+      live->superstep.store(step, std::memory_order_relaxed);
+      live->total_supersteps.store(q, std::memory_order_relaxed);
+      live->triangles.store(static_cast<std::uint64_t>(out.local_triangles),
+                            std::memory_order_relaxed);
+      live->lookups.store(out.kernel.lookups, std::memory_order_relaxed);
+      live->graph_bytes.store(
+          block_bytes(blocks.ublock) + block_bytes(blocks.lblock),
+          std::memory_order_relaxed);
+      live->partition_bytes.store(block_bytes(blocks.tasks),
+                                  std::memory_order_relaxed);
+      live->scratch_bytes.store(scratch.hash_capacity() * sizeof(VertexId),
+                                std::memory_order_relaxed);
+    }
+    if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
+      flight->counter("superstep", "tc", static_cast<double>(step));
+    }
+  };
+
   PhaseTracker tracker(comm);
   std::uint64_t lookups_before = 0;
   for (int s = 0; s < q; ++s) {
+    publish_live(s);
     if (checkpointing) {
       obs::ScopedSpan span("checkpoint", "chaos");
       ckpt.ublock = blocks.ublock.to_blob();
@@ -187,6 +225,12 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
       cc.crashes += 1;
       if (obs::Tracer* tracer = obs::Tracer::current()) {
         tracer->instant("chaos.crash", "chaos");
+      }
+      if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
+        // Dump at the crash instant: the last "superstep" counter in the
+        // crashing rank's stream is exactly the failed superstep.
+        flight->instant("chaos.crash", "chaos", static_cast<double>(s));
+        flight->try_auto_dump("chaos-crash");
       }
       const double t0 = util::thread_cpu_seconds();
       {
@@ -238,6 +282,14 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
     out.shifts.push_back(sample);
   }
   out.kernel.probes = scratch.probes();
+  if (live != nullptr) {
+    // Final readings: superstep == q renders as "q/q" (done) in the
+    // streaming views.
+    live->superstep.store(q, std::memory_order_relaxed);
+    live->triangles.store(static_cast<std::uint64_t>(out.local_triangles),
+                          std::memory_order_relaxed);
+    live->lookups.store(out.kernel.lookups, std::memory_order_relaxed);
+  }
 
   out.total_triangles = mpisim::allreduce_sum(comm, out.local_triangles);
   return out;

@@ -5,6 +5,7 @@
 
 #include "tricount/core/dist_graph.hpp"
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/telemetry.hpp"
 
 namespace tricount::core {
 
@@ -32,6 +33,17 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
 
   mpisim::WorldReport report = mpisim::run_world_report(ranks, [&](mpisim::Comm& comm) {
     mpisim::Cart2D grid(comm);
+
+    // Live telemetry phase tag: "pre" until cannon_count flips it to "tc"
+    // at its first superstep.
+    obs::RankTelemetry* live = nullptr;
+    if (obs::Telemetry* telemetry = obs::Telemetry::current()) {
+      live = telemetry->for_caller();
+    }
+    if (live != nullptr) {
+      live->phase.store("pre", std::memory_order_relaxed);
+    }
+
     const LocalSlice input = make_slice(comm);
 
     PreprocessOutput pre = preprocess(grid, input, options.config);
@@ -42,6 +54,9 @@ RunResult run_pipeline(int ranks, const RunOptions& options,
     }
     CountOutput count = cannon_count(grid, std::move(pre.blocks),
                                      options.config);
+    if (live != nullptr) {
+      live->phase.store("done", std::memory_order_relaxed);
+    }
 
     RankStats& stats = result.per_rank[static_cast<std::size_t>(comm.rank())];
     stats.pre_steps = std::move(pre.steps);

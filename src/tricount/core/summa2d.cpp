@@ -8,6 +8,7 @@
 #include "tricount/core/preprocess.hpp"
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/telemetry.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
 
@@ -115,6 +116,13 @@ SummaBlocks scatter_summa(mpisim::Comm& comm, int qr, int qc, int K,
   }
   blocks.tasks = BlockCsr::from_entries(u_rows, std::move(task_entries));
   return blocks;
+}
+
+/// Approximate CSR heap footprint of one block, for the live-telemetry
+/// memory gauges (mirrors counter2d.cpp's block_bytes).
+std::uint64_t summa_block_bytes(const BlockCsr& b) {
+  return b.xadj().size() * sizeof(std::uint64_t) +
+         (b.adj().size() + b.nonempty().size()) * sizeof(VertexId);
 }
 
 /// Owner broadcasts a block (as its §5.2 blob) to the other members of
@@ -266,8 +274,42 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
       next_l = post_l(0);
     }
 
+    // Live telemetry + flight recorder, mirroring cannon_count: the
+    // "superstep" flight counter marks each panel step so a crash dump's
+    // final superstep record is the failed step.
+    obs::RankTelemetry* live = nullptr;
+    if (obs::Telemetry* telemetry = obs::Telemetry::current()) {
+      live = telemetry->for_caller();
+    }
+    std::uint64_t panels_bytes = 0;
+    for (const BlockCsr& b : blocks.upanels) {
+      panels_bytes += summa_block_bytes(b);
+    }
+    for (const BlockCsr& b : blocks.lpanels) {
+      panels_bytes += summa_block_bytes(b);
+    }
+    auto publish_live = [&](int step) {
+      if (live != nullptr) {
+        live->phase.store("tc", std::memory_order_relaxed);
+        live->superstep.store(step, std::memory_order_relaxed);
+        live->total_supersteps.store(K, std::memory_order_relaxed);
+        live->triangles.store(static_cast<std::uint64_t>(local),
+                              std::memory_order_relaxed);
+        live->lookups.store(kernel.lookups, std::memory_order_relaxed);
+        live->graph_bytes.store(panels_bytes, std::memory_order_relaxed);
+        live->partition_bytes.store(summa_block_bytes(blocks.tasks),
+                                    std::memory_order_relaxed);
+        live->scratch_bytes.store(scratch.hash_capacity() * sizeof(VertexId),
+                                  std::memory_order_relaxed);
+      }
+      if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
+        flight->counter("superstep", "tc", static_cast<double>(step));
+      }
+    };
+
     auto& steps = step_samples[static_cast<std::size_t>(comm.rank())];
     for (int z = 0; z < K; ++z) {
+      publish_live(z);
       if (checkpointing) {
         obs::ScopedSpan span("checkpoint", "chaos");
         ckpt.tasks = blocks.tasks.to_blob();
@@ -312,6 +354,10 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
         if (obs::Tracer* tracer = obs::Tracer::current()) {
           tracer->instant("chaos.crash", "chaos");
         }
+        if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
+          flight->instant("chaos.crash", "chaos", static_cast<double>(z));
+          flight->try_auto_dump("chaos-crash");
+        }
         const double t0 = util::thread_cpu_seconds();
         {
           obs::ScopedSpan span("recover", "chaos");
@@ -340,6 +386,12 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
       steps.push_back(s);
     }
     kernel.probes = scratch.probes();
+    if (live != nullptr) {
+      live->superstep.store(K, std::memory_order_relaxed);
+      live->triangles.store(static_cast<std::uint64_t>(local),
+                            std::memory_order_relaxed);
+      live->lookups.store(kernel.lookups, std::memory_order_relaxed);
+    }
     kernels[static_cast<std::size_t>(comm.rank())] = kernel;
 
     const graph::TriangleCount total = mpisim::allreduce_sum(comm, local);

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/telemetry.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
 
@@ -167,7 +168,15 @@ void Comm::reliable_send(int dest, int tag,
       std::vector<std::byte>(payload.begin(), payload.end()),
       steady_seconds() + world_.fault_injector()->retry_timeout_seconds(),
       1});
+  publish_unacked_depth();
   transmit(unacked_.back());
+}
+
+void Comm::publish_unacked_depth() const {
+  obs::Telemetry* telemetry = obs::Telemetry::current();
+  if (telemetry == nullptr || rank_ >= telemetry->ranks()) return;
+  telemetry->rank(rank_).unacked_sends.store(unacked_.size(),
+                                             std::memory_order_relaxed);
 }
 
 void Comm::transmit(const PendingSend& p) {
@@ -223,6 +232,7 @@ void Comm::service_reliable() {
     unacked_.remove_if([&](const PendingSend& p) {
       return p.dest == ack.source && p.tag == ack.tag && p.seq == ack.seq;
     });
+    publish_unacked_depth();
   }
   if (unacked_.empty()) return;
   const FaultInjector& injector = *world_.fault_injector();

@@ -246,6 +246,9 @@ class Comm {
   /// Delivers the next in-order stashed message matching (source, tag).
   bool take_from_stash(int source, int tag, Message& out);
   void count_send(int dest, int tag, std::size_t bytes);
+  /// Mirrors unacked_.size() into the live-telemetry slot (no-op when no
+  /// obs::Telemetry is installed).
+  void publish_unacked_depth() const;
 
   World& world_;
   int rank_;

@@ -63,6 +63,17 @@ class Mailbox {
   /// Returns true if a matching message is queued (MPI_Iprobe analogue).
   bool probe(int source, int tag);
 
+  /// Points the live-telemetry gauges at this mailbox: `depth` receives
+  /// the queued-message count and `bytes` the queued payload bytes after
+  /// every queue mutation. Same null-tolerant pattern as the watchdog's
+  /// `progress` pointer; wired by World when an obs::Telemetry is
+  /// installed, zero cost otherwise. The atomics must outlive the world.
+  void set_telemetry_gauges(std::atomic<std::uint64_t>* depth,
+                            std::atomic<std::uint64_t>* bytes) {
+    depth_gauge_ = depth;
+    bytes_gauge_ = bytes;
+  }
+
   /// Marks the world as failed and wakes all waiters so a crashing rank
   /// cannot leave its peers blocked forever.
   void fail();
@@ -98,6 +109,17 @@ class Mailbox {
     }
   }
 
+  /// Publishes queue depth/bytes to the telemetry gauges. Call with
+  /// mutex_ held, after any queue_ mutation.
+  void publish_depth_locked() {
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->store(queue_.size(), std::memory_order_relaxed);
+    }
+    if (bytes_gauge_ != nullptr) {
+      bytes_gauge_->store(queued_bytes_, std::memory_order_relaxed);
+    }
+  }
+
   struct Deferred {
     Message message;
     int remaining = 0;
@@ -107,7 +129,10 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   std::vector<Deferred> deferred_;
+  std::uint64_t queued_bytes_ = 0;  ///< payload bytes across queue_
   std::atomic<std::uint64_t>* progress_ = nullptr;
+  std::atomic<std::uint64_t>* depth_gauge_ = nullptr;
+  std::atomic<std::uint64_t>* bytes_gauge_ = nullptr;
   bool failed_ = false;
   bool waiting_ = false;
   int waiting_source_ = 0;

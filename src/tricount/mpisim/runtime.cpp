@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "tricount/obs/flight.hpp"
+#include "tricount/obs/telemetry.hpp"
 #include "tricount/util/log.hpp"
 
 namespace tricount::mpisim {
@@ -20,6 +22,7 @@ namespace tricount::mpisim {
 void Mailbox::push(Message message) {
   {
     std::scoped_lock lock(mutex_);
+    queued_bytes_ += message.payload.size();
     queue_.push_back(std::move(message));
     // Every arrival ages the deferred messages; release the ones whose
     // hold has expired, preserving their original relative order.
@@ -27,6 +30,7 @@ void Mailbox::push(Message message) {
       std::size_t keep = 0;
       for (std::size_t i = 0; i < deferred_.size(); ++i) {
         if (--deferred_[i].remaining <= 0) {
+          queued_bytes_ += deferred_[i].message.payload.size();
           queue_.push_back(std::move(deferred_[i].message));
         } else {
           // keep == i would self-move, gutting the held payload.
@@ -36,6 +40,7 @@ void Mailbox::push(Message message) {
       }
       deferred_.resize(keep);
     }
+    publish_depth_locked();
   }
   note_progress();
   cv_.notify_all();
@@ -44,7 +49,9 @@ void Mailbox::push(Message message) {
 void Mailbox::push_front(Message message) {
   {
     std::scoped_lock lock(mutex_);
+    queued_bytes_ += message.payload.size();
     queue_.push_front(std::move(message));
+    publish_depth_locked();
   }
   note_progress();
   cv_.notify_all();
@@ -60,8 +67,12 @@ void Mailbox::push_deferred(Message message, int hold_pushes) {
 }
 
 void Mailbox::release_deferred_locked() {
-  for (Deferred& d : deferred_) queue_.push_back(std::move(d.message));
+  for (Deferred& d : deferred_) {
+    queued_bytes_ += d.message.payload.size();
+    queue_.push_back(std::move(d.message));
+  }
   deferred_.clear();
+  publish_depth_locked();
 }
 
 std::size_t Mailbox::find_locked(int source, int tag) const {
@@ -97,6 +108,8 @@ Message Mailbox::pop(int source, int tag) {
   }
   Message m = std::move(queue_[at]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  queued_bytes_ -= m.payload.size();
+  publish_depth_locked();
   note_progress();
   return m;
 }
@@ -128,6 +141,8 @@ bool Mailbox::pop_for(int source, int tag, double timeout_seconds,
   if (!ready || at >= queue_.size()) return false;
   out = std::move(queue_[at]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  queued_bytes_ -= out.payload.size();
+  publish_depth_locked();
   note_progress();
   return true;
 }
@@ -138,6 +153,8 @@ bool Mailbox::try_pop(int source, int tag, Message& out) {
   if (at >= queue_.size()) return false;
   out = std::move(queue_[at]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(at));
+  queued_bytes_ -= out.payload.size();
+  publish_depth_locked();
   note_progress();
   return true;
 }
@@ -148,6 +165,8 @@ bool Mailbox::try_pop_ack(Message& out) {
     if (queue_[i].kind == MsgKind::kAck) {
       out = std::move(queue_[i]);
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      queued_bytes_ -= out.payload.size();
+      publish_depth_locked();
       note_progress();
       return true;
     }
@@ -189,8 +208,17 @@ World::World(int size, const WorldOptions& options)
       fault_injector_(options.fault_injector) {
   if (size <= 0) throw std::invalid_argument("mpisim: world size must be > 0");
   mailboxes_.reserve(static_cast<size_t>(size));
+  obs::Telemetry* telemetry = obs::Telemetry::current();
+  if (telemetry != nullptr && telemetry->ranks() < size) {
+    telemetry = nullptr;  // sized for a different world; don't misattribute
+  }
   for (int i = 0; i < size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(&progress_));
+    if (telemetry != nullptr) {
+      obs::RankTelemetry& slot = telemetry->rank(i);
+      mailboxes_.back()->set_telemetry_gauges(&slot.mailbox_depth,
+                                              &slot.mailbox_bytes);
+    }
   }
 }
 
@@ -282,6 +310,9 @@ WorldReport run_world_report(int size, const RankFn& fn,
   // inline path cannot deadlock on itself without also hanging the caller.
   if (budget > 0.0 && size > 1) {
     watchdog = std::thread([&] {
+      // Not a rank: label the thread so its log lines read [wdog] and
+      // its (rare) trace/flight events land in the shared world stream.
+      util::set_thread_label("wdog");
       using clock = std::chrono::steady_clock;
       const auto interval = std::chrono::duration<double>(
           std::clamp(budget / 4.0, 0.01, 0.5));
@@ -306,6 +337,12 @@ WorldReport run_world_report(int size, const RankFn& fn,
         if (!any_waiting || stalled < budget) continue;
         const std::string diag = stall_diagnostic(world, budget);
         TRICOUNT_LOG_ERROR("%s", diag.c_str());
+        // Dump the flight rings before tearing the world down: the hang
+        // is exactly the case where post-run artifacts never happen.
+        if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
+          flight->instant("watchdog.stall", "chaos", budget);
+          flight->try_auto_dump("watchdog-stall");
+        }
         {
           std::scoped_lock error_lock(error_mutex);
           if (!first_error) {

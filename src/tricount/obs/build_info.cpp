@@ -1,0 +1,25 @@
+#include "tricount/obs/build_info.hpp"
+
+#include "tricount/util/build.hpp"
+
+namespace tricount::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      util::build_version(), util::build_git_hash(), util::build_type(),
+      util::build_compiler(), util::build_options()};
+  return info;
+}
+
+json::Value build_info_json() {
+  const BuildInfo& info = build_info();
+  json::Value out = json::Value::object();
+  out.set("version", info.version);
+  out.set("git", info.git_hash);
+  out.set("build_type", info.build_type);
+  out.set("compiler", info.compiler);
+  out.set("options", info.options);
+  return out;
+}
+
+}  // namespace tricount::obs

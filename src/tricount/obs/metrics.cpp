@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace tricount::obs {
 
 void Histogram::observe(double value) {
+  // A NaN sample would poison min/max/sum for every later observation;
+  // reject it instead of recording garbage.
+  if (std::isnan(value)) return;
   std::scoped_lock lock(mutex_);
   if (count_ == 0) {
     min_ = value;
@@ -115,6 +119,7 @@ Snapshot Registry::snapshot() const {
 }
 
 double Snapshot::HistogramValue::quantile(double q) const {
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   if (count == 0) return 0.0;
   if (q <= 0.0) return min;
   if (q >= 1.0) return max;

@@ -57,6 +57,8 @@ class Histogram {
  public:
   explicit Histogram(double scale = 1.0) : scale_(scale) {}
 
+  /// Records one sample. NaN samples are rejected (ignored), so a single
+  /// bad measurement cannot poison min/max/sum.
   void observe(double value);
 
   std::uint64_t count() const;
@@ -93,8 +95,8 @@ struct Snapshot {
     /// Quantile estimate from the power-of-two buckets: linear
     /// interpolation inside the bucket holding the q-th sample, clamped
     /// to the exact [min, max]. q <= 0 returns min, q >= 1 returns max,
-    /// an empty histogram returns 0. Feeds the p50/p95/p99 columns of
-    /// the perf report without raw sample dumps.
+    /// an empty histogram returns 0, a NaN q returns NaN. Feeds the
+    /// p50/p95/p99 columns of the perf report without raw sample dumps.
     double quantile(double q) const;
   };
   std::map<std::string, HistogramValue> histograms;

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "tricount/obs/flight.hpp"
 #include "tricount/obs/json.hpp"
 
 namespace tricount::obs {
@@ -127,20 +128,33 @@ class Tracer {
   std::vector<Buffer> buffers_;
 };
 
-/// RAII span against the installed tracer; all-no-op when none is.
+/// RAII span against the installed tracer AND the installed flight
+/// recorder; all-no-op when neither is. Routing both through the one
+/// RAII type means every existing span site (checkpoint, intersect,
+/// shift, recover, ...) lands in the flight ring for free.
 class ScopedSpan {
  public:
-  ScopedSpan(const char* name, const char* cat) : tracer_(Tracer::current()) {
+  ScopedSpan(const char* name, const char* cat)
+      : tracer_(Tracer::current()), flight_(FlightRecorder::current()) {
     if (tracer_ != nullptr) tracer_->begin(name, cat);
+    if (flight_ != nullptr) {
+      flight_->span_begin(name, cat);
+      name_ = name;
+      cat_ = cat;
+    }
   }
   ~ScopedSpan() {
     if (tracer_ != nullptr) tracer_->end();
+    if (flight_ != nullptr) flight_->span_end(name_, cat_);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
   Tracer* tracer_;
+  FlightRecorder* flight_;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
 };
 
 }  // namespace tricount::obs

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tricount/util/build.hpp"
+
 namespace tricount::util {
 
 ArgParser::ArgParser(std::string program, std::string description)
@@ -27,6 +29,15 @@ bool ArgParser::parse(int argc, const char* const* argv) {
     if (arg == "--help" || arg == "-h") {
       std::fputs(usage().c_str(), stdout);
       help_requested_ = true;
+      return false;
+    }
+    if (arg == "--version") {
+      // Treated like --help: parse() returns false with help_requested_
+      // set, so the universal `return args.help_requested() ? 0 : 1;`
+      // call-site idiom exits 0 without any per-binary change.
+      std::printf("%s %s\n", program_.c_str(), build_summary().c_str());
+      help_requested_ = true;
+      version_requested_ = true;
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -121,6 +132,7 @@ std::string ArgParser::usage() const {
     os << "  (default: " << opt.default_value << ")\n      " << opt.help
        << "\n";
   }
+  os << "  --version\n      print version and build provenance\n";
   return os.str();
 }
 

@@ -37,8 +37,12 @@ class ArgParser {
 
   /// True only on a genuine parse error — --help/-h is not a failure.
   bool parse_failed() const { return failed_; }
-  /// True when parse() stopped because --help/-h was given.
+  /// True when parse() stopped because --help/-h or --version was given
+  /// (both print-and-exit-0 paths).
   bool help_requested() const { return help_requested_; }
+  /// True when parse() stopped specifically because of --version (the
+  /// build summary has already been printed).
+  bool version_requested() const { return version_requested_; }
   std::string usage() const;
 
  private:
@@ -54,6 +58,7 @@ class ArgParser {
   std::map<std::string, std::string> values_;
   bool failed_ = false;
   bool help_requested_ = false;
+  bool version_requested_ = false;
 };
 
 }  // namespace tricount::util

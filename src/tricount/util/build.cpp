@@ -1,0 +1,46 @@
+#include "tricount/util/build.hpp"
+
+// The definitions are injected by src/CMakeLists.txt; the fallbacks keep
+// non-CMake compiles (tooling, IDE indexers) building.
+#ifndef TRICOUNT_VERSION
+#define TRICOUNT_VERSION "0.0.0"
+#endif
+#ifndef TRICOUNT_GIT_HASH
+#define TRICOUNT_GIT_HASH "unknown"
+#endif
+#ifndef TRICOUNT_BUILD_TYPE
+#define TRICOUNT_BUILD_TYPE ""
+#endif
+#ifndef TRICOUNT_COMPILER
+#define TRICOUNT_COMPILER "unknown"
+#endif
+#ifndef TRICOUNT_OPTIONS
+#define TRICOUNT_OPTIONS "none"
+#endif
+
+namespace tricount::util {
+
+const char* build_version() { return TRICOUNT_VERSION; }
+const char* build_git_hash() { return TRICOUNT_GIT_HASH; }
+const char* build_type() { return TRICOUNT_BUILD_TYPE; }
+const char* build_compiler() { return TRICOUNT_COMPILER; }
+const char* build_options() { return TRICOUNT_OPTIONS; }
+
+std::string build_summary() {
+  std::string out = "tricount ";
+  out += build_version();
+  out += " (";
+  out += build_git_hash();
+  if (build_type()[0] != '\0') {
+    out += ", ";
+    out += build_type();
+  }
+  out += ", ";
+  out += build_compiler();
+  out += ", options: ";
+  out += build_options();
+  out += ")";
+  return out;
+}
+
+}  // namespace tricount::util

@@ -1,0 +1,28 @@
+// Build provenance baked in at configure time: git hash, build type,
+// compiler, and enabled CMake options. The raw accessors live in util so
+// ArgParser can print `--version` without depending on obs; the
+// structured/JSON view is obs::build_info() (obs/build_info.hpp).
+#pragma once
+
+#include <string>
+
+namespace tricount::util {
+
+/// Project version from CMake (`project(tricount VERSION ...)`).
+const char* build_version();
+/// Short git hash of the configured checkout, or "unknown" when the
+/// source tree was not a git checkout at configure time. Stamped at
+/// configure time, so it can go stale until the next CMake re-run.
+const char* build_git_hash();
+/// CMAKE_BUILD_TYPE (empty under multi-config generators).
+const char* build_type();
+/// Compiler id + version, e.g. "GNU 13.2.0".
+const char* build_compiler();
+/// Comma-separated enabled TRICOUNT_* options, or "none".
+const char* build_options();
+
+/// One-line human-readable summary for `--version`:
+///   "tricount 1.0.0 (abc123def456, RelWithDebInfo, GNU 13.2.0)".
+std::string build_summary();
+
+}  // namespace tricount::util

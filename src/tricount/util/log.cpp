@@ -14,6 +14,7 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_log_mutex;
 thread_local int t_rank = -1;
+thread_local const char* t_label = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -41,6 +42,10 @@ void set_current_rank(int rank) { t_rank = rank < 0 ? -1 : rank; }
 
 int current_rank() { return t_rank; }
 
+void set_thread_label(const char* label) { t_label = label; }
+
+const char* thread_label() { return t_label; }
+
 void log(LogLevel level, const char* format, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   const double ts = log_clock_seconds();
@@ -50,6 +55,9 @@ void log(LogLevel level, const char* format, ...) {
     std::scoped_lock lock(g_log_mutex);
     if (t_rank >= 0) {
       std::fprintf(stderr, "[%11.6f] [r%03d] [%s] ", ts, t_rank,
+                   level_name(level));
+    } else if (t_label != nullptr) {
+      std::fprintf(stderr, "[%11.6f] [%-4.4s] [%s] ", ts, t_label,
                    level_name(level));
     } else {
       std::fprintf(stderr, "[%11.6f] [r---] [%s] ", ts, level_name(level));

@@ -27,6 +27,15 @@ void set_current_rank(int rank);
 /// The calling thread's rank tag, or -1 when unset.
 int current_rank();
 
+/// Tags a non-rank helper thread (watchdog, telemetry publisher) with a
+/// short label — at most 4 characters are shown — so its log lines read
+/// `[wdog]` instead of the anonymous `[r---]`. A rank tag, when set,
+/// wins. Pass nullptr to clear. The pointer must stay valid for the
+/// thread's lifetime (string literals in practice).
+void set_thread_label(const char* label);
+/// The calling thread's label, or nullptr when unset.
+const char* thread_label();
+
 void log(LogLevel level, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 

@@ -1,7 +1,7 @@
 # Perf regression gate, run as `cmake -P` so it needs no shell.
 #
 # Inputs (all -D):
-#   MODE       check | selfdiff | perturb
+#   MODE       check | selfdiff | perturb | chaosoff | overlapoff | flightoff
 #   DATASET    rmat_s8 | ws_n512 (deterministic generator configs)
 #   RANKS      simulated rank count
 #   CLI        path to tricount_cli
@@ -27,6 +27,10 @@
 #             baseline — must exit 0, proving the overlap accounting path
 #             (hidden = 0 when off) leaves artifacts byte-comparable to
 #             the pre-overlap baselines (docs/overlap.md).
+#   flightoff re-run with --flight off spelled out and diff against the
+#             baseline — must exit 0, proving the flight recorder (on by
+#             default) never leaks into the metrics artifact and turning
+#             it off cannot change the run (docs/observability.md).
 #
 # Baseline refresh (after an intentional perf-affecting change):
 #   regenerate each artifact with the commands below and copy it over
@@ -128,6 +132,22 @@ elseif(MODE STREQUAL "overlapoff")
     message(FATAL_ERROR
             "perf_gate: overlap-disabled run diffs dirty against ${BASELINE} "
             "(${status}) — the overlap-off path is not baseline-identical")
+  endif()
+elseif(MODE STREQUAL "flightoff")
+  if(NOT EXISTS ${BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${BASELINE}")
+  endif()
+  set(FLIGHTOFF ${WORK_DIR}/${DATASET}_r${RANKS}_flightoff.json)
+  # --flight off skips recorder/telemetry install entirely; the artifact
+  # must diff clean against the (default, flight-on) baseline.
+  run_count(${FLIGHTOFF} --flight off)
+  execute_process(
+    COMMAND ${PERF} diff ${BASELINE} ${FLIGHTOFF}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: flight-disabled run diffs dirty against ${BASELINE} "
+            "(${status}) — the flight recorder leaks into the artifact")
   endif()
 elseif(MODE STREQUAL "perturb")
   if(NOT EXISTS ${BASELINE})

@@ -6,6 +6,7 @@
 // Usage:
 //   tricount_trace_lint FILE.json...           lint trace files; exit 1 on any violation
 //   tricount_trace_lint --metrics FILE.json... schema-validate tricount.metrics.v1/v2 files
+//   tricount_trace_lint --flight FILE.jsonl... validate tricount.flight.v1 dumps
 //   tricount_trace_lint --selftest             run the built-in good/bad fixtures
 #include <cstdio>
 #include <cstring>
@@ -13,8 +14,10 @@
 #include <vector>
 
 #include "tricount/obs/analysis.hpp"
+#include "tricount/obs/flight.hpp"
 #include "tricount/obs/json.hpp"
 #include "tricount/obs/trace.hpp"
+#include "tricount/util/build.hpp"
 
 namespace {
 
@@ -61,6 +64,37 @@ int lint_metrics_file(const std::string& path) {
     return 0;
   }
   return 1;
+}
+
+int lint_flight_file(const std::string& path) {
+  obs::FlightDump dump;
+  try {
+    dump = obs::read_flight_dump(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> violations = obs::lint_flight(dump);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("%s: OK (%zu records)\n", path.c_str(), dump.records.size());
+    return 0;
+  }
+  return 1;
+}
+
+/// Builds a tricount.flight.v1 dump fixture in memory for the selftest:
+/// the well-formed header plus `records` (already-parsed JSON lines).
+obs::FlightDump flight_fixture(std::vector<obs::json::Value> records) {
+  obs::FlightDump dump;
+  dump.header = obs::json::Value::parse(
+      R"({"schema":"tricount.flight.v1","stream":"rank","rank":0,)"
+      R"("ranks":4,"capacity":16,"recorded":2,"dropped":0,)"
+      R"("reason":"selftest","build":{}})");
+  dump.records = std::move(records);
+  return dump;
 }
 
 int selftest() {
@@ -118,6 +152,53 @@ int selftest() {
     ++failures;
   }
 
+  // --- tricount.flight.v1 fixtures ---------------------------------------
+
+  // Clean dump: monotonic timestamps, known kinds.
+  {
+    std::vector<obs::json::Value> records;
+    records.push_back(obs::json::Value::parse(
+        R"({"ts_us":1.0,"kind":"begin","name":"intersect","cat":"tc"})"));
+    records.push_back(obs::json::Value::parse(
+        R"({"ts_us":2.0,"kind":"counter","name":"superstep","cat":"tc",)"
+        R"("value":3})"));
+    if (!obs::lint_flight(flight_fixture(std::move(records))).empty()) {
+      std::fprintf(stderr, "selftest: clean flight dump flagged\n");
+      ++failures;
+    }
+  }
+
+  // Decreasing timestamps must be flagged.
+  {
+    std::vector<obs::json::Value> records;
+    records.push_back(obs::json::Value::parse(
+        R"({"ts_us":5.0,"kind":"instant","name":"a","cat":"tc","value":0})"));
+    records.push_back(obs::json::Value::parse(
+        R"({"ts_us":1.0,"kind":"instant","name":"b","cat":"tc","value":0})"));
+    if (obs::lint_flight(flight_fixture(std::move(records))).empty()) {
+      std::fprintf(stderr, "selftest: flight ts regression not flagged\n");
+      ++failures;
+    }
+  }
+
+  // Unknown record kind and a broken header must both be flagged.
+  {
+    std::vector<obs::json::Value> records;
+    records.push_back(obs::json::Value::parse(
+        R"({"ts_us":1.0,"kind":"jump","name":"a","cat":"tc"})"));
+    if (obs::lint_flight(flight_fixture(std::move(records))).empty()) {
+      std::fprintf(stderr, "selftest: unknown flight kind not flagged\n");
+      ++failures;
+    }
+    obs::FlightDump bad_header = flight_fixture({});
+    bad_header.header.set("schema", "tricount.flight.v999");
+    bad_header.header.set("rank", 7);  // >= ranks
+    if (obs::lint_flight(bad_header).size() < 2) {
+      std::fprintf(stderr, "selftest: bad flight header not fully flagged\n");
+      ++failures;
+    }
+  }
+
   if (failures == 0) std::printf("selftest: OK\n");
   return failures == 0 ? 0 : 1;
 }
@@ -127,19 +208,32 @@ int selftest() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: tricount_trace_lint "
-                 "<FILE.json...|--metrics FILE.json...|--selftest>\n");
+                 "usage: tricount_trace_lint <FILE.json...|--metrics "
+                 "FILE.json...|--flight FILE.jsonl...|--selftest|"
+                 "--version>\n");
     return 2;
   }
   if (std::strcmp(argv[1], "--selftest") == 0) return selftest();
+  if (std::strcmp(argv[1], "--version") == 0) {
+    std::printf("tricount_trace_lint %s\n",
+                tricount::util::build_summary().c_str());
+    return 0;
+  }
   const bool metrics_mode = std::strcmp(argv[1], "--metrics") == 0;
-  if (metrics_mode && argc < 3) {
-    std::fprintf(stderr, "usage: tricount_trace_lint --metrics FILE.json...\n");
+  const bool flight_mode = std::strcmp(argv[1], "--flight") == 0;
+  if ((metrics_mode || flight_mode) && argc < 3) {
+    std::fprintf(stderr, "usage: tricount_trace_lint %s FILE...\n", argv[1]);
     return 2;
   }
   int status = 0;
-  for (int i = metrics_mode ? 2 : 1; i < argc; ++i) {
-    status |= metrics_mode ? lint_metrics_file(argv[i]) : lint_file(argv[i]);
+  for (int i = (metrics_mode || flight_mode) ? 2 : 1; i < argc; ++i) {
+    if (metrics_mode) {
+      status |= lint_metrics_file(argv[i]);
+    } else if (flight_mode) {
+      status |= lint_flight_file(argv[i]);
+    } else {
+      status |= lint_file(argv[i]);
+    }
   }
   return status;
 }

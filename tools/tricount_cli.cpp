@@ -17,10 +17,16 @@
 //   tricount_cli pervertex --file g.mtx --ranks 9 --top 5
 //   tricount_cli summary --file m.json --comm-matrix
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tricount/baselines/aop1d.hpp"
@@ -37,7 +43,10 @@
 #include "tricount/graph/serial_count.hpp"
 #include "tricount/graph/stats.hpp"
 #include "tricount/kernels/kernels.hpp"
+#include "tricount/obs/flight.hpp"
+#include "tricount/obs/telemetry.hpp"
 #include "tricount/util/argparse.hpp"
+#include "tricount/util/build.hpp"
 #include "tricount/util/log.hpp"
 #include "tricount/util/table.hpp"
 
@@ -208,6 +217,87 @@ void print_comm_heatmap(const mpisim::CommMatrix& matrix) {
   print_comm_heatmap(bytes);
 }
 
+/// Owns the flight recorder, live telemetry, and the optional snapshot
+/// publisher thread for one `count` run (docs/observability.md). Scope
+/// exit tears everything down — including during exception unwinding, so
+/// a watchdog-stall ChaosError still leaves the auto dump behind and no
+/// installed recorder dangling.
+class FlightSession {
+ public:
+  FlightSession(const util::ArgParser& args, int ranks) {
+    if (args.get("flight") == "off") return;
+    const auto capacity = static_cast<std::size_t>(
+        std::max<long long>(args.get_int("flight-capacity"), 1));
+    dump_dir_ = args.get("flight-dump");
+    dump_on_exit_ = args.get_bool("flight-dump-on-exit");
+    recorder_ = std::make_unique<obs::FlightRecorder>(ranks, capacity);
+    recorder_->set_auto_dump_dir(dump_dir_);
+    recorder_->install();
+    obs::FlightRecorder::install_signal_handlers();
+    telemetry_ = std::make_unique<obs::Telemetry>(ranks);
+    telemetry_->install();
+    telemetry_path_ = args.get("flight-telemetry");
+    if (!telemetry_path_.empty()) {
+      const auto interval = std::chrono::milliseconds(std::max<long long>(
+          args.get_int("flight-telemetry-interval-ms"), 10));
+      publisher_ = std::thread([this, interval] {
+        util::set_thread_label("tlm");
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+          lock.unlock();
+          try {
+            telemetry_->publish(telemetry_path_);
+          } catch (const std::exception&) {
+            // Best-effort: a failed snapshot must never fail the run.
+          }
+          lock.lock();
+          cv_.wait_for(lock, interval, [this] { return stop_; });
+        }
+      });
+    }
+  }
+
+  ~FlightSession() {
+    if (publisher_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      publisher_.join();
+      try {
+        telemetry_->publish(telemetry_path_);  // final (post-run) snapshot
+      } catch (const std::exception&) {
+      }
+    }
+    if (telemetry_ != nullptr) telemetry_->uninstall();
+    if (recorder_ != nullptr) {
+      if (dump_on_exit_ && !recorder_->auto_dumped()) {
+        try {
+          recorder_->dump(dump_dir_, "exit");
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "flight: exit dump failed: %s\n", e.what());
+        }
+      }
+      recorder_->uninstall();
+    }
+  }
+
+  FlightSession(const FlightSession&) = delete;
+  FlightSession& operator=(const FlightSession&) = delete;
+
+ private:
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  std::thread publisher_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool dump_on_exit_ = false;
+  std::string dump_dir_;
+  std::string telemetry_path_;
+};
+
 int cmd_count(int argc, const char* const* argv) {
   util::ArgParser args("tricount_cli count",
                        "Distributed triangle counting.");
@@ -247,6 +337,22 @@ int cmd_count(int argc, const char* const* argv) {
   args.add_option("watchdog", "0",
                   "hang-watchdog budget in seconds (0 = auto, negative = "
                   "off; see docs/chaos.md)");
+  args.add_option("flight", "on",
+                  "flight recorder + live telemetry: on | off "
+                  "(docs/observability.md)");
+  args.add_option("flight-capacity", "4096",
+                  "flight ring capacity in records per rank");
+  args.add_option("flight-dump", "flight-dumps",
+                  "directory for automatic flight dumps (written only on "
+                  "chaos crash, watchdog stall, fatal signal, or "
+                  "--flight-dump-on-exit)");
+  args.add_flag("flight-dump-on-exit", false,
+                "also dump the flight rings when the run ends");
+  args.add_option("flight-telemetry", "",
+                  "publish live tricount.telemetry.v1 snapshots to this "
+                  "path (read by tricount_top / tricount_perf watch)");
+  args.add_option("flight-telemetry-interval-ms", "200",
+                  "telemetry publish interval in milliseconds");
   chaos::add_chaos_options(args);
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
@@ -295,6 +401,7 @@ int cmd_count(int argc, const char* const* argv) {
         return 1;
       }
     }
+    FlightSession flight_session(args, ranks);
     const auto result = core::count_triangles_2d(g, ranks, options);
     std::printf("triangles: %llu\n",
                 static_cast<unsigned long long>(result.triangles));
@@ -347,6 +454,7 @@ int cmd_count(int argc, const char* const* argv) {
     options.grid_cols = cols;
     options.chaos = chaos::plan_from_args(args, rows * cols);
     options.watchdog_seconds = watchdog;
+    FlightSession flight_session(args, rows * cols);
     const auto result = core::count_triangles_summa(g, options);
     std::printf("triangles: %llu (grid %dx%d, %d panels)\n",
                 static_cast<unsigned long long>(result.triangles),
@@ -567,7 +675,8 @@ void usage() {
   std::puts(
       "usage: tricount_cli "
       "<generate|stats|count|pervertex|truss|convert|summary> [options]\n"
-      "Run 'tricount_cli <subcommand> --help' for subcommand options.");
+      "Run 'tricount_cli <subcommand> --help' for subcommand options;\n"
+      "'tricount_cli --version' prints the build provenance.");
 }
 
 }  // namespace
@@ -578,6 +687,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string subcommand = argv[1];
+  if (subcommand == "--version") {
+    std::printf("tricount_cli %s\n", util::build_summary().c_str());
+    return 0;
+  }
   const int sub_argc = argc - 1;
   const char* const* sub_argv = argv + 1;
   try {

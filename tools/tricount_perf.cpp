@@ -1,12 +1,14 @@
 // tricount_perf — perf-doctor over saved run artifacts.
 //
 // Usage:
-//   tricount_perf report <metrics.json> [--top N]
+//   tricount_perf report <metrics.json> [--top N] [--flight-dir DIR]
 //       Human-readable bottleneck report: dominant phase, comm fractions,
 //       load imbalance, top straggler ranks, per-superstep critical path,
 //       chaos fault tallies (when the artifact came from a chaos run),
-//       and the α–β consistency check. Exit 1 when the consistency check
-//       fails, 0 otherwise.
+//       and the α–β consistency check. With --flight-dir, also a section
+//       correlating the directory's tricount.flight.v1 dumps (dump
+//       reason, last recorded superstep, crash markers) with the run.
+//       Exit 1 when the consistency check fails, 0 otherwise.
 //
 //   tricount_perf diff <baseline.json> <candidate.json>
 //                      [--max-regress PCT] [--noise-floor SECONDS]
@@ -17,15 +19,27 @@
 //       only past both the threshold and the absolute noise floor.
 //       Exit 1 on any gating difference, 0 when clean.
 //
+//   tricount_perf watch [--file PATH] [--once] [--jsonl] [--interval-ms N]
+//       Streams a live run's tricount.telemetry.v1 snapshot (published
+//       via tricount_cli count --flight-telemetry) as a refreshing table
+//       or JSONL feed — the same view as tricount_top.
+//
 // Exit code 2 signals usage or I/O errors.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tricount/obs/analysis.hpp"
+#include "tricount/obs/flight.hpp"
 #include "tricount/obs/json.hpp"
+#include "tricount/obs/telemetry.hpp"
+#include "tricount/util/build.hpp"
 #include "tricount/util/table.hpp"
 
 namespace {
@@ -36,9 +50,13 @@ namespace analysis = obs::analysis;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: tricount_perf report <metrics.json> [--top N]\n"
+      "usage: tricount_perf report <metrics.json> [--top N] "
+      "[--flight-dir DIR]\n"
       "       tricount_perf diff <baseline.json> <candidate.json>\n"
-      "                     [--max-regress PCT] [--noise-floor SECONDS]\n");
+      "                     [--max-regress PCT] [--noise-floor SECONDS]\n"
+      "       tricount_perf watch [--file PATH] [--once] [--jsonl]\n"
+      "                     [--interval-ms N]\n"
+      "       tricount_perf --version\n");
   return 2;
 }
 
@@ -48,12 +66,99 @@ bool parse_double(const char* text, double& out) {
   return end != text && *end == '\0';
 }
 
+/// The `report --flight-dir` section: one row per tricount.flight.v1
+/// dump in `dir`, correlating each stream's dump reason and final
+/// recorded superstep (plus any chaos.crash marker) with the run the
+/// metrics artifact describes. Returns 2 on unreadable dumps.
+int print_flight_section(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("flight-", 0) == 0 &&
+        name.size() >= 6 + 6 &&  // "flight" + ".jsonl"
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "tricount_perf: --flight-dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  std::printf("\n== flight dumps (%s) ==\n", dir.c_str());
+  if (files.empty()) {
+    std::printf("no tricount.flight.v1 dumps found — the run completed "
+                "without a crash/hang/signal trigger\n");
+    return 0;
+  }
+  util::Table table({"stream", "reason", "recorded", "dropped",
+                     "last superstep", "crash step", "lint"});
+  for (const std::string& file : files) {
+    obs::FlightDump dump;
+    try {
+      dump = obs::read_flight_dump(file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tricount_perf: %s\n", e.what());
+      return 2;
+    }
+    const std::vector<std::string> violations = obs::lint_flight(dump);
+    double last_superstep = -1.0;
+    double crash_step = -1.0;
+    for (const obs::json::Value& rec : dump.records) {
+      const obs::json::Value* kind = rec.find("kind");
+      const obs::json::Value* name = rec.find("name");
+      const obs::json::Value* value = rec.find("value");
+      if (kind == nullptr || name == nullptr || value == nullptr) continue;
+      if (kind->as_string() == "counter" &&
+          name->as_string() == "superstep") {
+        last_superstep = value->as_number();
+      } else if (kind->as_string() == "instant" &&
+                 name->as_string() == "chaos.crash") {
+        crash_step = value->as_number();
+      }
+    }
+    const obs::json::Value* stream = dump.header.find("stream");
+    const obs::json::Value* rank = dump.header.find("rank");
+    std::string label = stream != nullptr ? stream->as_string() : "?";
+    if (label == "rank" && rank != nullptr) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "r%d",
+                    static_cast<int>(rank->as_number()));
+      label = buf;
+    }
+    const obs::json::Value* reason = dump.header.find("reason");
+    const obs::json::Value* recorded = dump.header.find("recorded");
+    const obs::json::Value* dropped = dump.header.find("dropped");
+    table.row()
+        .cell(label)
+        .cell(reason != nullptr ? reason->as_string() : "?")
+        .cell(recorded != nullptr ? recorded->as_number() : -1.0, 0)
+        .cell(dropped != nullptr ? dropped->as_number() : -1.0, 0)
+        .cell(last_superstep, 0)
+        .cell(crash_step, 0)
+        .cell(violations.empty()
+                  ? std::string("clean")
+                  : std::to_string(violations.size()) + " violation(s)");
+  }
+  table.print();
+  std::printf("(last superstep / crash step are -1 when the stream carries "
+              "no such record; correlate the crashing rank's crash step "
+              "with the chaos tallies above)\n");
+  return 0;
+}
+
 int cmd_report(const std::vector<std::string>& args) {
   std::string path;
+  std::string flight_dir;
   int top = 5;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--top" && i + 1 < args.size()) {
       top = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--flight-dir" && i + 1 < args.size()) {
+      flight_dir = args[++i];
     } else if (path.empty() && args[i][0] != '-') {
       path = args[i];
     } else {
@@ -71,6 +176,10 @@ int cmd_report(const std::vector<std::string>& args) {
   }
   const analysis::Analysis result = analysis::analyze(report);
   analysis::print_report(report, result, top);
+  if (!flight_dir.empty()) {
+    const int rc = print_flight_section(flight_dir);
+    if (rc != 0) return rc;
+  }
   return result.consistency_issues.empty() ? 0 : 1;
 }
 
@@ -139,13 +248,79 @@ int cmd_diff(const std::vector<std::string>& args) {
   return 1;
 }
 
+int cmd_watch(const std::vector<std::string>& args) {
+  std::string path = "live.json";
+  bool once = false;
+  bool jsonl = false;
+  long interval_ms = 500;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--file" && i + 1 < args.size()) {
+      path = args[++i];
+    } else if (args[i] == "--once") {
+      once = true;
+    } else if (args[i] == "--jsonl") {
+      jsonl = true;
+    } else if (args[i] == "--interval-ms" && i + 1 < args.size()) {
+      interval_ms = std::max(10L, std::atol(args[++i].c_str()));
+    } else {
+      return usage();
+    }
+  }
+
+  // Wait briefly for the publisher to create the snapshot, then stream
+  // it — the same view tricount_top renders.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::string last_rendered;
+  bool seen = false;
+  for (;;) {
+    obs::json::Value snapshot;
+    try {
+      snapshot = obs::json::read_file(path);
+    } catch (const std::exception& e) {
+      if (!seen && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      std::fprintf(stderr, "tricount_perf: %s\n", e.what());
+      return 2;
+    }
+    seen = true;
+    if (jsonl) {
+      std::printf("%s\n", snapshot.dump().c_str());
+      std::fflush(stdout);
+    } else {
+      std::string rendered;
+      try {
+        rendered = obs::render_telemetry(snapshot);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tricount_perf: %s\n", e.what());
+        return 2;
+      }
+      if (rendered != last_rendered) {
+        if (!once && !last_rendered.empty()) std::printf("\n");
+        std::fputs(rendered.c_str(), stdout);
+        std::fflush(stdout);
+        last_rendered = std::move(rendered);
+      }
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version") {
+    std::printf("tricount_perf %s\n", util::build_summary().c_str());
+    return 0;
+  }
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "report") return cmd_report(args);
   if (command == "diff") return cmd_diff(args);
+  if (command == "watch") return cmd_watch(args);
   return usage();
 }
