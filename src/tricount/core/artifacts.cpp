@@ -221,27 +221,37 @@ obs::Snapshot build_run_snapshot(const RunResult& result) {
   return registry.snapshot();
 }
 
-obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix) {
+obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix,
+                                     bool include_chaos) {
   using obs::json::Value;
   Value out = Value::object();
   out.set("size", matrix.size());
-  const char* fields[] = {"user_messages", "user_bytes", "collective_messages",
-                          "collective_bytes"};
-  for (const char* field : fields) {
+  std::vector<std::string> fields = {"user_messages", "user_bytes",
+                                     "collective_messages",
+                                     "collective_bytes"};
+  if (include_chaos) {
+    // Reliability overhead (retransmitted copies + acks) — emitted only
+    // for chaos runs so fault-free artifacts stay byte-identical to
+    // baselines written before the columns existed.
+    fields.push_back("chaos_messages");
+    fields.push_back("chaos_bytes");
+  }
+  for (const std::string& name : fields) {
     Value rows = Value::array();
     for (int s = 0; s < matrix.size(); ++s) {
       Value row = Value::array();
       for (int d = 0; d < matrix.size(); ++d) {
         const mpisim::CommCell& cell = matrix.at(s, d);
-        const std::string name(field);
         if (name == "user_messages") row.push_back(cell.user_messages);
         else if (name == "user_bytes") row.push_back(cell.user_bytes);
         else if (name == "collective_messages") row.push_back(cell.collective_messages);
-        else row.push_back(cell.collective_bytes);
+        else if (name == "collective_bytes") row.push_back(cell.collective_bytes);
+        else if (name == "chaos_messages") row.push_back(cell.chaos_messages);
+        else row.push_back(cell.chaos_bytes);
       }
       rows.push_back(std::move(row));
     }
-    out.set(field, std::move(rows));
+    out.set(name, std::move(rows));
   }
   return out;
 }
@@ -302,7 +312,8 @@ obs::json::Value build_run_metrics(const RunResult& result) {
   }
   root.set("steps", std::move(steps));
 
-  root.set("comm_matrix", comm_matrix_to_json(result.comm_matrix));
+  root.set("comm_matrix", comm_matrix_to_json(result.comm_matrix,
+                                              result.chaos_enabled));
 
   Value per_rank = Value::array();
   for (std::size_t r = 0; r < result.per_rank_counters.size(); ++r) {
@@ -315,6 +326,13 @@ obs::json::Value build_run_metrics(const RunResult& result) {
     entry.set("bytes_received", c.bytes_received);
     entry.set("collective_messages_sent", c.collective_messages_sent);
     entry.set("collective_bytes_sent", c.collective_bytes_sent);
+    // Reliability-overhead split, present only on chaos runs (keeps
+    // fault-free artifacts byte-identical to the checked-in baselines).
+    if (result.chaos_enabled) {
+      entry.set("chaos_messages_sent", c.chaos_messages_sent);
+      entry.set("chaos_bytes_sent", c.chaos_bytes_sent);
+      entry.set("chaos_acks_sent", c.chaos_acks_sent);
+    }
     entry.set("comm_cpu_seconds", c.comm_cpu_seconds);
     per_rank.push_back(std::move(entry));
   }
@@ -328,6 +346,52 @@ void write_run_trace(const RunResult& result, const std::string& path) {
 
 void write_run_metrics(const RunResult& result, const std::string& path) {
   obs::json::write_file(build_run_metrics(result), path);
+}
+
+obs::json::Value build_run_msgtrace(const RunResult& result,
+                                    const obs::MsgTrace& trace) {
+  using obs::json::Value;
+  Value root = trace.to_json();
+  root.set("build", obs::build_info_json());
+
+  // Replace the bare run.ranks header with the full run description the
+  // analyzer needs to pair measurements with the α–β model.
+  Value run = Value::object();
+  run.set("ranks", result.ranks);
+  run.set("grid_q", result.grid_q);
+  run.set("vertices", static_cast<std::uint64_t>(result.num_vertices));
+  run.set("edges", static_cast<std::uint64_t>(result.num_edges));
+  run.set("triangles", static_cast<std::uint64_t>(result.triangles));
+  run.set("overlap", result.overlap_enabled);
+  run.set("chaos", result.chaos_enabled);
+  Value model = Value::object();
+  model.set("alpha_seconds", result.model.alpha_seconds);
+  model.set("beta_seconds_per_byte", result.model.beta_seconds_per_byte);
+  run.set("model", std::move(model));
+  root.set("run", std::move(run));
+
+  // The modeled step table: what the α–β model predicts per superstep,
+  // so analyze_msgtrace can report measured-vs-modeled deltas without a
+  // second artifact in hand.
+  Value steps = Value::array();
+  for (const Superstep& step : supersteps_of(result)) {
+    const PhaseBreakdown b = breakdown(step.samples);
+    Value entry = Value::object();
+    entry.set("name", step.name);
+    entry.set("phase", step.phase);
+    entry.set("modeled_seconds", b.modeled_seconds(result.model));
+    entry.set("modeled_comm_seconds", b.modeled_comm_seconds(result.model));
+    entry.set("hidden_seconds", b.hidden_seconds(result.model));
+    entry.set("overlapped", b.overlapped);
+    steps.push_back(std::move(entry));
+  }
+  root.set("steps", std::move(steps));
+  return root;
+}
+
+void write_run_msgtrace(const RunResult& result, const obs::MsgTrace& trace,
+                        const std::string& path) {
+  obs::json::write_file(build_run_msgtrace(result, trace), path);
 }
 
 }  // namespace tricount::core

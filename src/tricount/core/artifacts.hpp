@@ -21,6 +21,7 @@
 #include "tricount/obs/analysis.hpp"
 #include "tricount/obs/json.hpp"
 #include "tricount/obs/metrics.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/trace.hpp"
 
 namespace tricount::core {
@@ -44,10 +45,22 @@ obs::Snapshot build_run_snapshot(const RunResult& result);
 /// breakdowns + the p×p comm matrix + per-rank traffic counters.
 obs::json::Value build_run_metrics(const RunResult& result);
 
-/// The comm matrix as JSON (also embedded in build_run_metrics).
-obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix);
+/// The comm matrix as JSON (also embedded in build_run_metrics). With
+/// `include_chaos` the reliability-overhead columns (chaos_messages /
+/// chaos_bytes) are emitted too — chaos runs only, so fault-free
+/// artifacts stay byte-identical to pre-chaos baselines.
+obs::json::Value comm_matrix_to_json(const mpisim::CommMatrix& matrix,
+                                     bool include_chaos = false);
+
+/// Full tricount.msgtrace.v1 artifact: the captured causal records
+/// (obs::MsgTrace::to_json) plus the run header and the modeled per-step
+/// table the analyzer compares measurements against.
+obs::json::Value build_run_msgtrace(const RunResult& result,
+                                    const obs::MsgTrace& trace);
 
 void write_run_trace(const RunResult& result, const std::string& path);
 void write_run_metrics(const RunResult& result, const std::string& path);
+void write_run_msgtrace(const RunResult& result, const obs::MsgTrace& trace,
+                        const std::string& path);
 
 }  // namespace tricount::core

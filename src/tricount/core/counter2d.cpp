@@ -6,6 +6,7 @@
 
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/telemetry.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
@@ -172,6 +173,9 @@ CountOutput cannon_count(mpisim::Cart2D& grid, Blocks blocks,
     }
     if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
       flight->counter("superstep", "tc", static_cast<double>(step));
+    }
+    if (obs::MsgTrace* mt = obs::MsgTrace::current()) {
+      mt->note_superstep(step);
     }
   };
 

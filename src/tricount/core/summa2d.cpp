@@ -8,6 +8,7 @@
 #include "tricount/core/preprocess.hpp"
 #include "tricount/mpisim/collectives.hpp"
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/telemetry.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
@@ -304,6 +305,9 @@ SummaResult count_triangles_summa(const graph::EdgeList& graph,
       }
       if (obs::FlightRecorder* flight = obs::FlightRecorder::current()) {
         flight->counter("superstep", "tc", static_cast<double>(step));
+      }
+      if (obs::MsgTrace* mt = obs::MsgTrace::current()) {
+        mt->note_superstep(step);
       }
     };
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "tricount/mpisim/runtime.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/telemetry.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/time.hpp"
@@ -47,6 +48,9 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
   collective_bytes_sent += other.collective_bytes_sent;
   collective_messages_received += other.collective_messages_received;
   collective_bytes_received += other.collective_bytes_received;
+  chaos_messages_sent += other.chaos_messages_sent;
+  chaos_bytes_sent += other.chaos_bytes_sent;
+  chaos_acks_sent += other.chaos_acks_sent;
   comm_cpu_seconds += other.comm_cpu_seconds;
   return *this;
 }
@@ -64,6 +68,9 @@ PerfCounters PerfCounters::operator-(const PerfCounters& other) const {
       collective_messages_received - other.collective_messages_received;
   d.collective_bytes_received =
       collective_bytes_received - other.collective_bytes_received;
+  d.chaos_messages_sent = chaos_messages_sent - other.chaos_messages_sent;
+  d.chaos_bytes_sent = chaos_bytes_sent - other.chaos_bytes_sent;
+  d.chaos_acks_sent = chaos_acks_sent - other.chaos_acks_sent;
   d.comm_cpu_seconds = comm_cpu_seconds - other.comm_cpu_seconds;
   return d;
 }
@@ -73,6 +80,8 @@ CommCell& CommCell::operator+=(const CommCell& other) {
   user_bytes += other.user_bytes;
   collective_messages += other.collective_messages;
   collective_bytes += other.collective_bytes;
+  chaos_messages += other.chaos_messages;
+  chaos_bytes += other.chaos_bytes;
   return *this;
 }
 
@@ -104,12 +113,19 @@ int Comm::next_collective_tag() {
   return tag;
 }
 
-void Comm::count_send(int dest, int tag, std::size_t bytes) {
+void Comm::count_send(int dest, int tag, std::size_t bytes, bool retransmit) {
   PerfCounters& c = counters();
   c.messages_sent += 1;
   c.bytes_sent += bytes;
   CommCell& cell = world_.comm_matrix().at(rank_, dest);
-  if (is_collective_tag(tag)) {
+  if (retransmit) {
+    // Protocol overhead: visible in the matrix's chaos columns (and the
+    // chaos_* counters) instead of inflating the algorithm's traffic.
+    c.chaos_messages_sent += 1;
+    c.chaos_bytes_sent += bytes;
+    cell.chaos_messages += 1;
+    cell.chaos_bytes += bytes;
+  } else if (is_collective_tag(tag)) {
     c.collective_messages_sent += 1;
     c.collective_bytes_sent += bytes;
     cell.collective_messages += 1;
@@ -128,18 +144,36 @@ void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   if (world_.fault_injector() != nullptr) {
     reliable_send(dest, tag, payload);
   } else {
+    obs::MsgTrace* mt = obs::MsgTrace::current();
+    const double post_us = mt != nullptr ? mt->now_us() : 0.0;
     Message m;
     m.source = rank_;
     m.tag = tag;
+    if (mt != nullptr) m.trace_id = mt->next_trace_id();
     m.payload.assign(payload.begin(), payload.end());
+    const std::uint64_t trace_id = m.trace_id;
     world_.mailbox(dest).push(std::move(m));
     count_send(dest, tag, payload.size());
+    if (mt != nullptr) {
+      obs::MsgRecord r;
+      r.kind = obs::MsgRecord::kSend;
+      r.collective = is_collective_tag(tag);
+      r.peer = dest;
+      r.tag = tag;
+      r.id = trace_id;
+      r.bytes = payload.size();
+      r.post_us = post_us;
+      r.wire_us = mt->now_us();
+      mt->record(r);
+    }
   }
   counters().comm_cpu_seconds += util::thread_cpu_seconds() - t0;
 }
 
 Message Comm::recv_message(int source, int tag) {
   const double t0 = util::thread_cpu_seconds();
+  obs::MsgTrace* mt = obs::MsgTrace::current();
+  const double post_us = mt != nullptr ? mt->now_us() : 0.0;
   Message m = world_.fault_injector() != nullptr
                   ? reliable_recv(source, tag)
                   : world_.mailbox(rank_).pop(source, tag);
@@ -149,6 +183,22 @@ Message Comm::recv_message(int source, int tag) {
   if (is_collective_tag(m.tag)) {
     c.collective_messages_received += 1;
     c.collective_bytes_received += m.payload.size();
+  }
+  if (mt != nullptr) {
+    // Only application-level deliveries are recorded, so duplicates and
+    // retransmitted copies the reliable channel discards never produce a
+    // second kRecv for the same trace id.
+    obs::MsgRecord r;
+    r.kind = obs::MsgRecord::kRecv;
+    r.collective = is_collective_tag(m.tag);
+    r.peer = m.source;
+    r.tag = m.tag;
+    r.id = m.trace_id;
+    r.seq = m.seq;
+    r.bytes = m.payload.size();
+    r.post_us = post_us;
+    r.wire_us = mt->now_us();
+    mt->record(r);
   }
   c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;
   return m;
@@ -161,13 +211,20 @@ void Comm::reliable_send(int dest, int tag,
                          std::span<const std::byte> payload) {
   service_reliable();
   const std::uint64_t seq = ++send_seq_[{dest, tag}];
-  unacked_.push_back(PendingSend{
+  PendingSend pending{
       dest,
       tag,
       seq,
       std::vector<std::byte>(payload.begin(), payload.end()),
       steady_seconds() + world_.fault_injector()->retry_timeout_seconds(),
-      1});
+      1,
+      /*trace_id=*/0,
+      /*post_us=*/0.0};
+  if (obs::MsgTrace* mt = obs::MsgTrace::current()) {
+    pending.trace_id = mt->next_trace_id();
+    pending.post_us = mt->now_us();
+  }
+  unacked_.push_back(std::move(pending));
   publish_unacked_depth();
   transmit(unacked_.back());
 }
@@ -184,13 +241,37 @@ void Comm::transmit(const PendingSend& p) {
   const FaultAction action =
       injector.on_message(rank_, p.dest, p.tag, p.seq, p.attempts);
   ChaosCounters& cc = world_.chaos_counters(rank_);
-  // Every wire attempt counts as sent traffic, retransmissions included:
-  // the α–β model should see the protocol's real cost under faults.
-  count_send(p.dest, p.tag, p.payload.size());
+  // Every wire attempt counts toward messages_sent/bytes_sent,
+  // retransmissions included: the α–β model should see the protocol's
+  // real cost under faults. Retransmissions are attributed to the
+  // matrix's chaos columns so the overhead stays distinguishable.
+  const bool retransmit = p.attempts > 1;
+  count_send(p.dest, p.tag, p.payload.size(), retransmit);
+
+  obs::MsgTrace* mt = obs::MsgTrace::current();
+  auto record_attempt = [&](bool was_dropped) {
+    if (mt == nullptr) return;
+    obs::MsgRecord r;
+    r.kind = obs::MsgRecord::kSend;
+    r.collective = is_collective_tag(p.tag);
+    r.dropped = was_dropped;
+    r.peer = p.dest;
+    r.tag = p.tag;
+    r.gen = p.attempts - 1;
+    r.id = p.trace_id;
+    r.seq = p.seq;
+    r.bytes = p.payload.size();
+    // A retransmit is a fresh decision made now (often from inside a
+    // receive loop), not at the original send call — re-stamp its post.
+    r.post_us = retransmit ? mt->now_us() : p.post_us;
+    r.wire_us = mt->now_us();
+    mt->record(r);
+  };
 
   if (action.drop) {
     cc.drops_injected += 1;
     chaos_trace_instant("chaos.drop");
+    record_attempt(/*was_dropped=*/true);
     return;
   }
   Message m;
@@ -198,6 +279,7 @@ void Comm::transmit(const PendingSend& p) {
   m.tag = p.tag;
   m.kind = MsgKind::kData;
   m.seq = p.seq;
+  m.trace_id = p.trace_id;
   m.payload = p.payload;
   Mailbox& mb = world_.mailbox(p.dest);
   if (action.delay_seconds > 0.0) {
@@ -220,9 +302,13 @@ void Comm::transmit(const PendingSend& p) {
     copy.tag = p.tag;
     copy.kind = MsgKind::kData;
     copy.seq = p.seq;
+    copy.trace_id = p.trace_id;
     copy.payload = p.payload;
     mb.push(std::move(copy));
   }
+  // One causal record per transmit call: the injected duplicate is the
+  // same wire attempt, and the receiver discards it before delivery.
+  record_attempt(/*was_dropped=*/false);
 }
 
 void Comm::service_reliable() {
@@ -254,17 +340,34 @@ void Comm::service_reliable() {
 }
 
 void Comm::send_ack(const Message& received) {
-  // Acks ride the control plane: pushed directly, never faulted and never
-  // counted as traffic. Faulting acks could strand a retransmission after
-  // the receiving rank has exited (it would never re-ack); data-plane
-  // faults already exercise every protocol path.
+  // Acks ride the control plane: pushed directly and never faulted.
+  // Faulting acks could strand a retransmission after the receiving rank
+  // has exited (it would never re-ack); data-plane faults already
+  // exercise every protocol path. They stay out of messages_sent (the
+  // α–β model never saw them) but are attributed as zero-byte protocol
+  // messages in the matrix's chaos columns and the chaos_acks counter.
   Message ack;
   ack.source = rank_;
   ack.tag = received.tag;
   ack.kind = MsgKind::kAck;
   ack.seq = received.seq;
+  ack.trace_id = received.trace_id;
   world_.mailbox(received.source).push(std::move(ack));
   world_.chaos_counters(rank_).acks_sent += 1;
+  counters().chaos_acks_sent += 1;
+  world_.comm_matrix().at(rank_, received.source).chaos_messages += 1;
+  if (obs::MsgTrace* mt = obs::MsgTrace::current()) {
+    obs::MsgRecord r;
+    r.kind = obs::MsgRecord::kAck;
+    r.collective = is_collective_tag(received.tag);
+    r.peer = received.source;
+    r.tag = received.tag;
+    r.id = received.trace_id;
+    r.seq = received.seq;
+    r.post_us = mt->now_us();
+    r.wire_us = r.post_us;
+    mt->record(r);
+  }
 }
 
 bool Comm::take_from_stash(int source, int tag, Message& out) {
@@ -358,6 +461,8 @@ Request Comm::irecv(int source, int tag) {
 
 bool Comm::try_recv_message(int source, int tag, Message& out) {
   const double t0 = util::thread_cpu_seconds();
+  obs::MsgTrace* mt = obs::MsgTrace::current();
+  const double post_us = mt != nullptr ? mt->now_us() : 0.0;
   const bool got = world_.fault_injector() != nullptr
                        ? reliable_try_recv(source, tag, out)
                        : world_.mailbox(rank_).try_pop(source, tag, out);
@@ -368,6 +473,19 @@ bool Comm::try_recv_message(int source, int tag, Message& out) {
     if (is_collective_tag(out.tag)) {
       c.collective_messages_received += 1;
       c.collective_bytes_received += out.payload.size();
+    }
+    if (mt != nullptr) {
+      obs::MsgRecord r;
+      r.kind = obs::MsgRecord::kRecv;
+      r.collective = is_collective_tag(out.tag);
+      r.peer = out.source;
+      r.tag = out.tag;
+      r.id = out.trace_id;
+      r.seq = out.seq;
+      r.bytes = out.payload.size();
+      r.post_us = post_us;
+      r.wire_us = mt->now_us();
+      mt->record(r);
     }
   }
   c.comm_cpu_seconds += util::thread_cpu_seconds() - t0;

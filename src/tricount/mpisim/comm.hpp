@@ -223,6 +223,11 @@ class Comm {
     std::vector<std::byte> payload;
     double deadline = 0.0;  // steady-clock seconds of the next retransmit
     int attempts = 0;
+    /// Causal-trace identity of the logical message (obs::MsgTrace): the
+    /// id every wire attempt shares and the post instant of the original
+    /// send call. Zero when no trace is installed.
+    std::uint64_t trace_id = 0;
+    double post_us = 0.0;
   };
 
   /// Receiver-side state of one (peer, tag) channel: the next in-order
@@ -245,7 +250,12 @@ class Comm {
   void send_ack(const Message& received);
   /// Delivers the next in-order stashed message matching (source, tag).
   bool take_from_stash(int source, int tag, Message& out);
-  void count_send(int dest, int tag, std::size_t bytes);
+  /// Tallies one wire attempt into the per-rank counters and the p×p
+  /// matrix. Retransmissions still count toward messages_sent/bytes_sent
+  /// (the α–β model sees the protocol's real cost) but land in the
+  /// matrix's chaos columns instead of the user/collective ones.
+  void count_send(int dest, int tag, std::size_t bytes,
+                  bool retransmit = false);
   /// Mirrors unacked_.size() into the live-telemetry slot (no-op when no
   /// obs::Telemetry is installed).
   void publish_unacked_depth() const;

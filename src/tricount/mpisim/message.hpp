@@ -39,6 +39,10 @@ struct Message {
   int tag = 0;
   MsgKind kind = MsgKind::kData;
   std::uint64_t seq = 0;
+  /// Causal trace id (obs::MsgTrace), stamped by the sender at post time
+  /// and echoed by acks; 0 when no trace is installed. Joins the
+  /// receiver's delivery record to the sender's wire attempts.
+  std::uint64_t trace_id = 0;
   std::vector<std::byte> payload;
 };
 
@@ -59,6 +63,14 @@ struct PerfCounters {
   std::uint64_t collective_bytes_sent = 0;
   std::uint64_t collective_messages_received = 0;
   std::uint64_t collective_bytes_received = 0;
+  /// Reliability-protocol overhead (chaos runs; all zero otherwise):
+  /// retransmitted data attempts and their bytes — a subset of
+  /// messages_sent/bytes_sent, which keep counting every wire attempt so
+  /// the α–β model sees the protocol's real cost — plus acks, which ride
+  /// the control plane and are *not* part of messages_sent.
+  std::uint64_t chaos_messages_sent = 0;
+  std::uint64_t chaos_bytes_sent = 0;
+  std::uint64_t chaos_acks_sent = 0;
   /// CPU seconds this rank spent inside communication calls (packing,
   /// copying, matching). Wait time blocked on a condition variable does
   /// not consume CPU and is deliberately excluded: on an oversubscribed
@@ -83,6 +95,12 @@ struct CommCell {
   std::uint64_t user_bytes = 0;
   std::uint64_t collective_messages = 0;
   std::uint64_t collective_bytes = 0;
+  /// Reliability overhead on this edge (chaos runs; zero otherwise):
+  /// retransmitted data copies plus acks, kept out of the user and
+  /// collective columns so protocol cost is visible instead of folded
+  /// into the algorithm's traffic. messages()/bytes() exclude it.
+  std::uint64_t chaos_messages = 0;
+  std::uint64_t chaos_bytes = 0;
 
   std::uint64_t messages() const { return user_messages + collective_messages; }
   std::uint64_t bytes() const { return user_bytes + collective_bytes; }

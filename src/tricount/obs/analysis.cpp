@@ -672,6 +672,10 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
 
     std::vector<double> sent_messages(ranks, -1.0);
     std::vector<double> sent_bytes(ranks, -1.0);
+    std::vector<double> chaos_messages_sent(ranks, -1.0);
+    std::vector<double> chaos_bytes_sent(ranks, -1.0);
+    std::vector<double> chaos_acks_sent(ranks, -1.0);
+    bool per_rank_chaos = false;
     if (const json::Value* per_rank =
             lint.require(root, "per_rank", "document")) {
       if (!per_rank->is_array() || per_rank->size() != ranks) {
@@ -690,6 +694,17 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
           lint.counter(row, "bytes_received", where);
           lint.counter(row, "collective_messages_sent", where);
           lint.counter(row, "collective_bytes_sent", where);
+          // The chaos attribution columns appear only in chaos-run
+          // artifacts, and then all three together.
+          if (row.find("chaos_messages_sent") != nullptr ||
+              row.find("chaos_bytes_sent") != nullptr ||
+              row.find("chaos_acks_sent") != nullptr) {
+            per_rank_chaos = true;
+            chaos_messages_sent[r] =
+                lint.counter(row, "chaos_messages_sent", where);
+            chaos_bytes_sent[r] = lint.counter(row, "chaos_bytes_sent", where);
+            chaos_acks_sent[r] = lint.counter(row, "chaos_acks_sent", where);
+          }
           lint.number(row, "comm_cpu_seconds", where);
         }
       }
@@ -698,11 +713,22 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
     if (const json::Value* matrix =
             lint.require(root, "comm_matrix", "document")) {
       const double size = lint.counter(*matrix, "size", "comm_matrix");
+      const bool matrix_chaos = matrix->find("chaos_messages") != nullptr ||
+                                matrix->find("chaos_bytes") != nullptr;
+      if (matrix_chaos != per_rank_chaos && ranks > 0) {
+        lint.flag("comm_matrix: chaos columns and per_rank chaos counters "
+                  "must appear together");
+      }
       if (size >= 0 && size != static_cast<double>(ranks)) {
         lint.flag("comm_matrix: size != run.ranks");
       } else {
         // Row sums must reconcile with the per-rank send totals — the
         // documented mpisim invariant, now checked on any saved artifact.
+        // Under chaos the user/collective cells exclude retransmissions
+        // (those live in the chaos columns) while per_rank messages_sent
+        // still counts every data wire attempt; acks are protocol-only
+        // zero-byte messages, attributed to chaos_messages but never to
+        // messages_sent.
         for (std::size_t r = 0; r < ranks; ++r) {
           double messages = 0.0;
           double bytes = 0.0;
@@ -719,13 +745,46 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
                       std::to_string(r) + ")");
             break;
           }
-          if (sent_messages[r] >= 0 && messages != sent_messages[r]) {
-            lint.flag("comm_matrix: row " + std::to_string(r) +
-                      " message sum != per_rank messages_sent");
+          double chaos_messages = 0.0;
+          double chaos_bytes = 0.0;
+          if (matrix_chaos &&
+              (!sum_matrix_row(*matrix, "chaos_messages", r, ranks,
+                               chaos_messages) ||
+               !sum_matrix_row(*matrix, "chaos_bytes", r, ranks,
+                               chaos_bytes))) {
+            lint.flag("comm_matrix: chaos rows malformed (row " +
+                      std::to_string(r) + ")");
+            break;
           }
-          if (sent_bytes[r] >= 0 && bytes != sent_bytes[r]) {
+          double expect_messages = sent_messages[r];
+          double expect_bytes = sent_bytes[r];
+          if (matrix_chaos && chaos_messages_sent[r] >= 0) {
+            expect_messages -= chaos_messages_sent[r];
+          }
+          if (matrix_chaos && chaos_bytes_sent[r] >= 0) {
+            expect_bytes -= chaos_bytes_sent[r];
+          }
+          if (sent_messages[r] >= 0 && messages != expect_messages) {
             lint.flag("comm_matrix: row " + std::to_string(r) +
-                      " byte sum != per_rank bytes_sent");
+                      " message sum != per_rank messages_sent" +
+                      (matrix_chaos ? " net of chaos retransmissions" : ""));
+          }
+          if (sent_bytes[r] >= 0 && bytes != expect_bytes) {
+            lint.flag("comm_matrix: row " + std::to_string(r) +
+                      " byte sum != per_rank bytes_sent" +
+                      (matrix_chaos ? " net of chaos retransmissions" : ""));
+          }
+          if (matrix_chaos && chaos_messages_sent[r] >= 0 &&
+              chaos_acks_sent[r] >= 0 &&
+              chaos_messages != chaos_messages_sent[r] + chaos_acks_sent[r]) {
+            lint.flag("comm_matrix: row " + std::to_string(r) +
+                      " chaos_messages sum != per_rank chaos_messages_sent + "
+                      "chaos_acks_sent");
+          }
+          if (matrix_chaos && chaos_bytes_sent[r] >= 0 &&
+              chaos_bytes != chaos_bytes_sent[r]) {
+            lint.flag("comm_matrix: row " + std::to_string(r) +
+                      " chaos_bytes sum != per_rank chaos_bytes_sent");
           }
         }
       }
@@ -877,13 +936,10 @@ double network_seconds(const RunReport& report, const std::string& phase) {
 std::uint64_t comm_matrix_mismatches(const json::Value& a,
                                      const json::Value& b) {
   std::uint64_t mismatches = 0;
-  for (const char* field : {"user_messages", "user_bytes",
-                            "collective_messages", "collective_bytes"}) {
-    const json::Value* ra = a.find(field);
-    const json::Value* rb = b.find(field);
+  auto compare_rows = [&](const json::Value* ra, const json::Value* rb) {
     if (ra == nullptr || rb == nullptr || ra->size() != rb->size()) {
       ++mismatches;
-      continue;
+      return;
     }
     for (std::size_t s = 0; s < ra->size(); ++s) {
       for (std::size_t d = 0; d < ra->at(s).size(); ++d) {
@@ -893,6 +949,18 @@ std::uint64_t comm_matrix_mismatches(const json::Value& a,
         }
       }
     }
+  };
+  for (const char* field : {"user_messages", "user_bytes",
+                            "collective_messages", "collective_bytes"}) {
+    compare_rows(a.find(field), b.find(field));
+  }
+  // The chaos columns exist only in chaos-run artifacts: absent on both
+  // sides is agreement, absent on one side is a structural mismatch.
+  for (const char* field : {"chaos_messages", "chaos_bytes"}) {
+    const json::Value* ra = a.find(field);
+    const json::Value* rb = b.find(field);
+    if (ra == nullptr && rb == nullptr) continue;
+    compare_rows(ra, rb);
   }
   return mismatches;
 }
@@ -1083,6 +1151,538 @@ DiffResult diff_bench(const json::Value& baseline, const json::Value& candidate,
   return diff.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Causal message-trace analysis
+
+namespace {
+
+constexpr const char* kMsgTraceSchema = "tricount.msgtrace.v1";
+
+/// Half-open wall-clock interval in microseconds.
+using Interval = std::pair<double, double>;
+
+/// Coalesces overlapping/adjacent intervals in place (sorted afterwards).
+void merge_intervals(std::vector<Interval>& v) {
+  std::sort(v.begin(), v.end());
+  std::size_t out = 0;
+  for (const Interval& iv : v) {
+    if (iv.second <= iv.first) continue;
+    if (out > 0 && iv.first <= v[out - 1].second) {
+      v[out - 1].second = std::max(v[out - 1].second, iv.second);
+    } else {
+      v[out++] = iv;
+    }
+  }
+  v.resize(out);
+}
+
+/// |A \ B| for already-merged interval sets, in microseconds.
+double interval_difference_us(const std::vector<Interval>& a,
+                              const std::vector<Interval>& b) {
+  double total = 0.0;
+  std::size_t j = 0;
+  for (const Interval& iv : a) {
+    double cur = iv.first;
+    while (j < b.size() && b[j].second <= cur) ++j;
+    for (std::size_t k = j; k < b.size() && b[k].first < iv.second; ++k) {
+      if (b[k].first > cur) total += b[k].first - cur;
+      cur = std::max(cur, b[k].second);
+      if (cur >= iv.second) break;
+    }
+    if (cur < iv.second) total += iv.second - cur;
+  }
+  return total;
+}
+
+/// One logical message joined across both endpoints' records.
+struct MatchedPair {
+  int sender = -1;
+  int receiver = -1;
+  int step = -1;        ///< receiver-side superstep
+  double posted_us = 0.0;   ///< receive posted (blocking wait entered)
+  double arrival_us = 0.0;  ///< earliest surviving wire attempt
+  double deliver_us = 0.0;  ///< receive completed
+};
+
+}  // namespace
+
+MsgTraceReport MsgTraceReport::from_json(const json::Value& root) {
+  MsgTraceReport out;
+  const std::string schema = root.get("schema").as_string();
+  if (schema != kMsgTraceSchema) {
+    throw std::runtime_error("msgtrace: unsupported schema '" + schema + "'");
+  }
+  const json::Value& run = root.get("run");
+  out.ranks = static_cast<int>(run.get("ranks").as_number());
+  if (const json::Value* v = run.find("overlap")) out.overlap = v->as_bool();
+  if (const json::Value* v = run.find("chaos")) out.chaos = v->as_bool();
+  if (const json::Value* model = run.find("model")) {
+    out.model.alpha_seconds = model->get("alpha_seconds").as_number();
+    out.model.beta_seconds_per_byte =
+        model->get("beta_seconds_per_byte").as_number();
+  }
+  out.dropped = root.get("dropped").as_uint();
+
+  if (const json::Value* steps = root.find("steps")) {
+    for (std::size_t i = 0; i < steps->size(); ++i) {
+      const json::Value& entry = steps->at(i);
+      MsgTraceStep step;
+      step.name = entry.get("name").as_string();
+      step.phase = entry.get("phase").as_string();
+      step.modeled_seconds = entry.get("modeled_seconds").as_number();
+      step.modeled_comm_seconds = entry.get("modeled_comm_seconds").as_number();
+      step.hidden_seconds = entry.get("hidden_seconds").as_number();
+      step.overlapped = entry.get("overlapped").as_bool();
+      out.steps.push_back(std::move(step));
+    }
+  }
+
+  out.records.resize(out.ranks > 0 ? static_cast<std::size_t>(out.ranks) : 0);
+  const json::Value& buffers = root.get("ranks");
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const json::Value& buffer = buffers.at(i);
+    const int rank = static_cast<int>(buffer.get("rank").as_number());
+    // The trailing non-rank buffer (rank -1) has no causal position.
+    if (rank < 0 || rank >= out.ranks) continue;
+    const json::Value& records = buffer.get("records");
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      const json::Value& rec = records.at(r);
+      MsgRecord m;
+      const std::string kind = rec.get("kind").as_string();
+      if (kind == "send") {
+        m.kind = MsgRecord::Kind::kSend;
+      } else if (kind == "recv") {
+        m.kind = MsgRecord::Kind::kRecv;
+      } else if (kind == "ack") {
+        m.kind = MsgRecord::Kind::kAck;
+      } else {
+        throw std::runtime_error("msgtrace: unknown record kind '" + kind +
+                                 "'");
+      }
+      if (const json::Value* v = rec.find("collective")) {
+        m.collective = v->as_bool();
+      }
+      if (const json::Value* v = rec.find("dropped")) m.dropped = v->as_bool();
+      m.peer = static_cast<int>(rec.get("peer").as_number());
+      m.tag = static_cast<int>(rec.get("tag").as_number());
+      m.step = static_cast<int>(rec.get("step").as_number());
+      m.gen = static_cast<int>(rec.get("gen").as_number());
+      m.id = rec.get("id").as_uint();
+      m.seq = rec.get("seq").as_uint();
+      m.bytes = rec.get("bytes").as_uint();
+      m.post_us = rec.get("post_us").as_number();
+      m.wire_us = rec.get("wire_us").as_number();
+      out.records[static_cast<std::size_t>(rank)].push_back(m);
+    }
+  }
+  return out;
+}
+
+CausalAnalysis analyze_msgtrace(const MsgTraceReport& report) {
+  CausalAnalysis out;
+  out.truncated = report.dropped > 0;
+
+  // Join sender-side wire attempts by trace id. A logical message's
+  // arrival is the earliest attempt the fault plan let through; dropped
+  // attempts never reach a mailbox and cannot carry causality.
+  struct SendInfo {
+    int sender = -1;
+    double arrival_us = 0.0;
+    bool delivered = false;
+    bool seen = false;
+  };
+  std::map<std::uint64_t, SendInfo> sends;
+  double first_post_us = 0.0;
+  double last_wire_us = 0.0;
+  int last_rank = -1;
+  bool any_event = false;
+  auto note_span = [&](int rank, double post_us, double wire_us) {
+    if (!any_event || post_us < first_post_us) first_post_us = post_us;
+    if (!any_event || wire_us > last_wire_us) {
+      last_wire_us = wire_us;
+      last_rank = rank;
+    } else if (wire_us == last_wire_us && rank < last_rank) {
+      last_rank = rank;  // deterministic tie-break
+    }
+    any_event = true;
+  };
+
+  const int ranks = static_cast<int>(report.records.size());
+  for (int rank = 0; rank < ranks; ++rank) {
+    for (const MsgRecord& m : report.records[static_cast<std::size_t>(rank)]) {
+      note_span(rank, m.post_us, m.wire_us);
+      switch (m.kind) {
+        case MsgRecord::Kind::kSend: {
+          out.send_attempts += 1;
+          if (m.gen > 0) out.retransmit_attempts += 1;
+          if (m.dropped) out.dropped_attempts += 1;
+          SendInfo& info = sends[m.id];
+          if (!info.seen) {
+            info.seen = true;
+            info.sender = rank;
+            out.sends += 1;
+          }
+          if (!m.dropped &&
+              (!info.delivered || m.wire_us < info.arrival_us)) {
+            info.delivered = true;
+            info.arrival_us = m.wire_us;
+          }
+          break;
+        }
+        case MsgRecord::Kind::kRecv:
+          out.recvs += 1;
+          break;
+        case MsgRecord::Kind::kAck:
+          out.acks += 1;
+          break;
+      }
+    }
+  }
+  if (any_event) {
+    out.makespan_seconds = (last_wire_us - first_post_us) * 1e-6;
+  }
+
+  // Join receives to their sends; classify each pair's wait state.
+  std::vector<MatchedPair> pairs;
+  std::map<int, CausalStep> steps;  // keyed by receiver-side superstep
+  for (int rank = 0; rank < ranks; ++rank) {
+    for (const MsgRecord& m : report.records[static_cast<std::size_t>(rank)]) {
+      if (m.kind != MsgRecord::Kind::kRecv) continue;
+      const auto it = sends.find(m.id);
+      if (it == sends.end() || !it->second.delivered) {
+        // The sender's buffer was truncated (or the send raced capture
+        // teardown); without the send side there is no causal edge.
+        out.unmatched_recvs += 1;
+        continue;
+      }
+      out.matched += 1;
+      MatchedPair pair;
+      pair.sender = it->second.sender;
+      pair.receiver = rank;
+      pair.step = m.step;
+      pair.posted_us = m.post_us;
+      // The arrival stamp comes from the sender's thread and the deliver
+      // stamp from the receiver's; a sender descheduled between handing
+      // the message over and stamping it can stamp *after* delivery.
+      // Data cannot be available later than it was delivered, so clamp —
+      // this also keeps path segments and in-flight intervals ordered.
+      pair.arrival_us = std::min(it->second.arrival_us, m.wire_us);
+      pair.deliver_us = m.wire_us;
+      pairs.push_back(pair);
+
+      // Scalasca classification: late-sender is receiver time blocked
+      // before the data arrived; late-receiver is data time parked in
+      // the mailbox before the receive was posted; transfer is the rest
+      // of the post->deliver window.
+      const double late_sender = std::max(
+          0.0, std::min(pair.arrival_us, pair.deliver_us) - pair.posted_us);
+      const double late_receiver =
+          std::max(0.0, pair.posted_us - pair.arrival_us);
+      const double transfer = std::max(
+          0.0, pair.deliver_us - std::max(pair.arrival_us, pair.posted_us));
+      CausalStep& bucket = steps[m.step];
+      bucket.step = m.step;
+      bucket.pairs += 1;
+      bucket.late_sender_seconds += late_sender * 1e-6;
+      bucket.late_receiver_seconds += late_receiver * 1e-6;
+      bucket.transfer_seconds += transfer * 1e-6;
+    }
+  }
+
+  // Measured critical path: walk backwards from the globally last wire
+  // event. At each position the blocking dependency is the latest
+  // delivery into the current rank whose data the rank actually waited
+  // for (arrival after post — a late-sender edge); everything since that
+  // delivery is the rank's own progress. Jumping to the sender at the
+  // arrival time makes consecutive segments share endpoints, so the
+  // path telescopes to exactly the makespan.
+  if (any_event) {
+    std::vector<std::vector<const MatchedPair*>> inbound(
+        static_cast<std::size_t>(ranks));
+    for (const MatchedPair& pair : pairs) {
+      inbound[static_cast<std::size_t>(pair.receiver)].push_back(&pair);
+    }
+    for (auto& list : inbound) {
+      std::sort(list.begin(), list.end(),
+                [](const MatchedPair* a, const MatchedPair* b) {
+                  return a->deliver_us < b->deliver_us;
+                });
+    }
+    int cur_rank = last_rank;
+    double cur_us = last_wire_us;
+    for (std::size_t guard = 0; guard <= pairs.size(); ++guard) {
+      const MatchedPair* edge = nullptr;
+      if (cur_rank >= 0) {
+        const auto& list = inbound[static_cast<std::size_t>(cur_rank)];
+        for (auto it = list.rbegin(); it != list.rend(); ++it) {
+          const MatchedPair* p = *it;
+          if (p->deliver_us > cur_us) continue;
+          if (p->arrival_us > p->posted_us && p->arrival_us < cur_us) {
+            edge = p;
+            break;
+          }
+        }
+      }
+      if (edge == nullptr) break;
+      if (cur_us > edge->deliver_us) {
+        out.path.push_back(
+            {cur_rank, -1, "compute", edge->deliver_us, cur_us});
+      }
+      out.path.push_back({cur_rank, edge->sender, "transfer",
+                          edge->arrival_us, edge->deliver_us});
+      cur_rank = edge->sender;
+      cur_us = edge->arrival_us;
+    }
+    if (cur_us > first_post_us) {
+      out.path.push_back({cur_rank, -1, "compute", first_post_us, cur_us});
+    }
+    std::reverse(out.path.begin(), out.path.end());
+    for (const CriticalSegment& segment : out.path) {
+      out.path_seconds += segment.seconds();
+    }
+  }
+
+  // Measured overlap, per superstep: wall time data was sitting
+  // delivered for some rank while that rank was *not* blocked receiving
+  // — transfer progress genuinely hidden behind the rank's own work.
+  // Window quantities, so take the max over ranks (like the α–β model's
+  // max-based superstep window), then cap at the modeled hidden time so
+  // measured <= modeled holds by construction and the shortfall is the
+  // readable delta.
+  std::map<int, std::vector<std::vector<Interval>>> blocked;
+  std::map<int, std::vector<std::vector<Interval>>> in_flight;
+  for (const MatchedPair& pair : pairs) {
+    auto ensure = [&](std::map<int, std::vector<std::vector<Interval>>>& m)
+        -> std::vector<std::vector<Interval>>& {
+      return m.try_emplace(pair.step, static_cast<std::size_t>(ranks))
+          .first->second;
+    };
+    const std::size_t r = static_cast<std::size_t>(pair.receiver);
+    ensure(blocked)[r].push_back({pair.posted_us, pair.deliver_us});
+    ensure(in_flight)[r].push_back({pair.arrival_us, pair.deliver_us});
+  }
+
+  // Map superstep buckets to the artifact's modeled step table: record
+  // step s is the s-th "tc" entry; step -1 groups pre-phase traffic,
+  // modeled as the sum of the "pre" entries.
+  std::vector<const MsgTraceStep*> tc_steps;
+  double pre_hidden = 0.0;
+  for (const MsgTraceStep& step : report.steps) {
+    out.modeled_total_seconds += step.modeled_seconds;
+    if (step.phase == "tc") {
+      tc_steps.push_back(&step);
+    } else {
+      pre_hidden += step.hidden_seconds;
+    }
+  }
+  for (auto& [step, bucket] : steps) {
+    if (step < 0) {
+      bucket.name = "pre";
+      bucket.modeled_hidden_seconds = pre_hidden;
+    } else if (static_cast<std::size_t>(step) < tc_steps.size()) {
+      bucket.name = tc_steps[static_cast<std::size_t>(step)]->name;
+      bucket.modeled_hidden_seconds =
+          tc_steps[static_cast<std::size_t>(step)]->hidden_seconds;
+    } else {
+      bucket.name = "tc[" + std::to_string(step) + "]";
+    }
+    const auto bit = blocked.find(step);
+    const auto fit = in_flight.find(step);
+    double concurrent_us = 0.0;
+    if (bit != blocked.end() && fit != in_flight.end()) {
+      for (int r = 0; r < ranks; ++r) {
+        auto& f = fit->second[static_cast<std::size_t>(r)];
+        auto& b = bit->second[static_cast<std::size_t>(r)];
+        if (f.empty()) continue;
+        merge_intervals(f);
+        merge_intervals(b);
+        concurrent_us = std::max(concurrent_us, interval_difference_us(f, b));
+      }
+    }
+    bucket.concurrent_seconds = concurrent_us * 1e-6;
+    bucket.measured_hidden_seconds =
+        std::min(bucket.concurrent_seconds, bucket.modeled_hidden_seconds);
+
+    out.late_sender_seconds += bucket.late_sender_seconds;
+    out.late_receiver_seconds += bucket.late_receiver_seconds;
+    out.transfer_seconds += bucket.transfer_seconds;
+    out.concurrent_wall_seconds += bucket.concurrent_seconds;
+    out.measured_hidden_seconds += bucket.measured_hidden_seconds;
+    out.modeled_hidden_seconds += bucket.modeled_hidden_seconds;
+    out.steps.push_back(bucket);
+  }
+
+  return out;
+}
+
+void print_causal_report(const MsgTraceReport& report,
+                         const CausalAnalysis& analysis, int top_segments) {
+  util::print_heading("causal trace");
+  std::printf("%llu sends (%llu wire attempts, %llu retransmits, %llu "
+              "dropped), %llu recvs (%llu matched, %llu unmatched), %llu "
+              "acks\n",
+              static_cast<unsigned long long>(analysis.sends),
+              static_cast<unsigned long long>(analysis.send_attempts),
+              static_cast<unsigned long long>(analysis.retransmit_attempts),
+              static_cast<unsigned long long>(analysis.dropped_attempts),
+              static_cast<unsigned long long>(analysis.recvs),
+              static_cast<unsigned long long>(analysis.matched),
+              static_cast<unsigned long long>(analysis.unmatched_recvs),
+              static_cast<unsigned long long>(analysis.acks));
+  if (analysis.truncated) {
+    std::printf("WARNING: capture dropped %llu records (buffer capacity); "
+                "results below are partial\n",
+                static_cast<unsigned long long>(report.dropped));
+  }
+
+  util::print_heading("measured critical path");
+  std::printf("makespan %.6f s, extracted path %.6f s over %zu segments "
+              "(reconciliation delta %.3g s)\n",
+              analysis.makespan_seconds, analysis.path_seconds,
+              analysis.path.size(),
+              std::abs(analysis.makespan_seconds - analysis.path_seconds));
+  {
+    std::vector<const CriticalSegment*> longest;
+    for (const CriticalSegment& segment : analysis.path) {
+      longest.push_back(&segment);
+    }
+    std::stable_sort(longest.begin(), longest.end(),
+                     [](const CriticalSegment* a, const CriticalSegment* b) {
+                       return a->seconds() > b->seconds();
+                     });
+    const std::size_t limit = std::min<std::size_t>(
+        top_segments <= 0 ? longest.size()
+                          : static_cast<std::size_t>(top_segments),
+        longest.size());
+    util::Table table({"rank", "kind", "peer", "begin s", "end s", "span s"});
+    for (std::size_t i = 0; i < limit; ++i) {
+      const CriticalSegment& segment = *longest[i];
+      table.row()
+          .cell(static_cast<std::int64_t>(segment.rank))
+          .cell(segment.kind);
+      if (segment.peer >= 0) {
+        table.cell(static_cast<std::int64_t>(segment.peer));
+      } else {
+        table.dash();
+      }
+      table.cell(segment.begin_us * 1e-6, 6)
+          .cell(segment.end_us * 1e-6, 6)
+          .cell(segment.seconds(), 6);
+    }
+    table.print();
+  }
+
+  util::print_heading("wait states (per superstep)");
+  {
+    util::Table table({"step", "pairs", "late-sender s", "late-receiver s",
+                       "transfer s"});
+    for (const CausalStep& step : analysis.steps) {
+      table.row()
+          .cell(step.name)
+          .cell(step.pairs)
+          .cell(step.late_sender_seconds, 6)
+          .cell(step.late_receiver_seconds, 6)
+          .cell(step.transfer_seconds, 6);
+    }
+    table.row()
+        .cell("total")
+        .cell(analysis.matched)
+        .cell(analysis.late_sender_seconds, 6)
+        .cell(analysis.late_receiver_seconds, 6)
+        .cell(analysis.transfer_seconds, 6);
+    table.print();
+  }
+
+  util::print_heading("overlap: measured vs alpha-beta model");
+  {
+    util::Table table({"step", "concurrent s", "measured hidden s",
+                       "modeled hidden s", "delta s"});
+    for (const CausalStep& step : analysis.steps) {
+      table.row()
+          .cell(step.name)
+          .cell(step.concurrent_seconds, 6)
+          .cell(step.measured_hidden_seconds, 6)
+          .cell(step.modeled_hidden_seconds, 6)
+          .cell(step.modeled_hidden_seconds - step.measured_hidden_seconds, 6);
+    }
+    table.row()
+        .cell("total")
+        .cell(analysis.concurrent_wall_seconds, 6)
+        .cell(analysis.measured_hidden_seconds, 6)
+        .cell(analysis.modeled_hidden_seconds, 6)
+        .cell(analysis.modeled_hidden_seconds -
+                  analysis.measured_hidden_seconds,
+              6);
+    table.print();
+  }
+  std::printf("\nmeasured times are wall clock on the simulator host; "
+              "modeled times are the alpha-beta abstract machine — compare "
+              "shape, not absolutes (modeled run total %.6f s vs measured "
+              "makespan %.6f s)\n",
+              analysis.modeled_total_seconds, analysis.makespan_seconds);
+}
+
+DiffResult diff_msgtrace(const json::Value& baseline,
+                         const json::Value& candidate,
+                         const DiffOptions& options) {
+  const MsgTraceReport base = MsgTraceReport::from_json(baseline);
+  const MsgTraceReport cand = MsgTraceReport::from_json(candidate);
+  const CausalAnalysis ba = analyze_msgtrace(base);
+  const CausalAnalysis ca = analyze_msgtrace(cand);
+  DiffBuilder diff(options);
+
+  diff.exact("run.ranks", base.ranks, cand.ranks);
+  if (base.overlap != cand.overlap) {
+    diff.mismatch("run.overlap", "comm/compute overlap mode differs");
+  }
+  if (base.chaos != cand.chaos) {
+    diff.mismatch("run.chaos", "fault injection mode differs");
+  }
+  if (ba.truncated || ca.truncated) {
+    diff.info("capture.dropped", static_cast<double>(base.dropped),
+              static_cast<double>(cand.dropped),
+              "capture truncated; counts and times are partial");
+  }
+
+  // Logical traffic is deterministic on the fault-free path; under
+  // chaos the wire-attempt census depends on the fault schedule, so it
+  // is informational only.
+  if (!base.chaos && !cand.chaos && !ba.truncated && !ca.truncated) {
+    diff.exact("sends", static_cast<double>(ba.sends),
+               static_cast<double>(ca.sends));
+    diff.exact("recvs", static_cast<double>(ba.recvs),
+               static_cast<double>(ca.recvs));
+    diff.exact("matched_pairs", static_cast<double>(ba.matched),
+               static_cast<double>(ca.matched));
+  } else {
+    diff.info("send_attempts", static_cast<double>(ba.send_attempts),
+              static_cast<double>(ca.send_attempts),
+              "wire attempts vary with the fault schedule");
+  }
+
+  diff.measured_time("makespan_seconds", ba.makespan_seconds,
+                     ca.makespan_seconds);
+  diff.measured_time("late_sender_seconds", ba.late_sender_seconds,
+                     ca.late_sender_seconds);
+  diff.measured_time("late_receiver_seconds", ba.late_receiver_seconds,
+                     ca.late_receiver_seconds);
+  // The step table's modeled seconds embed each superstep's measured
+  // max-compute (like the metrics artifact's phase times), so they get
+  // the noise floor, not the pct-only model gate.
+  diff.measured_time("modeled_total_seconds", ba.modeled_total_seconds,
+                     ca.modeled_total_seconds);
+
+  // The tentpole check: how far measurement drifted from the α–β
+  // overlap prediction. A candidate whose divergence grows past the
+  // noise floor is flagged even if its absolute times improved.
+  diff.measured_time(
+      "overlap_model_divergence_seconds",
+      std::abs(ba.modeled_hidden_seconds - ba.measured_hidden_seconds),
+      std::abs(ca.modeled_hidden_seconds - ca.measured_hidden_seconds));
+
+  return diff.finish();
+}
+
 DiffResult diff_artifacts(const json::Value& baseline,
                           const json::Value& candidate,
                           const DiffOptions& options) {
@@ -1098,6 +1698,9 @@ DiffResult diff_artifacts(const json::Value& baseline,
   }
   if (base_schema == kBenchSchema) {
     return diff_bench(baseline, candidate, options);
+  }
+  if (base_schema == kMsgTraceSchema) {
+    return diff_msgtrace(baseline, candidate, options);
   }
   throw std::runtime_error("diff: unsupported schema '" + base_schema + "'");
 }

@@ -35,6 +35,7 @@
 
 #include "tricount/obs/json.hpp"
 #include "tricount/obs/metrics.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/util/cost_model.hpp"
 
 namespace tricount::obs::analysis {
@@ -204,5 +205,136 @@ DiffResult diff_bench(const json::Value& baseline, const json::Value& candidate,
 DiffResult diff_artifacts(const json::Value& baseline,
                           const json::Value& candidate,
                           const DiffOptions& options = {});
+
+// --- causal message-trace analysis (tricount.msgtrace.v1) ------------------
+//
+// The msgtrace artifact carries what the metrics artifact cannot: wall
+// clock causality. Every logical message joins the sender's wire
+// attempts (post/wire timestamps, retransmit generations) with the
+// receiver's delivery, so the analyzer can derive the run's *measured*
+// critical path, its per-superstep wait states (Scalasca's late-sender /
+// late-receiver classification), and the comm/compute overlap that
+// actually materialized — the cross-check for the α–β predictions the
+// rest of the toolchain is built on. Measured times are wall-clock
+// microseconds on the simulator host; the α–β numbers model an abstract
+// machine, so the two totals are compared for *shape*, and the exact
+// reconciliation guarantee is internal: the extracted critical path
+// telescopes to the observed makespan.
+
+/// One modeled superstep from the artifact's steps table (produced by
+/// core::build_run_msgtrace with exactly PhaseBreakdown's arithmetic).
+struct MsgTraceStep {
+  std::string name;
+  std::string phase;  ///< "pre" or "tc"
+  double modeled_seconds = 0.0;
+  double modeled_comm_seconds = 0.0;
+  double hidden_seconds = 0.0;  ///< α–β network time modeled as hidden
+  bool overlapped = false;
+};
+
+/// A parsed tricount.msgtrace.v1 artifact.
+struct MsgTraceReport {
+  int ranks = 0;
+  bool overlap = false;
+  bool chaos = false;
+  util::AlphaBetaModel model;
+  std::vector<MsgTraceStep> steps;
+  /// Per-rank causal records, in recording order. Records from the
+  /// artifact's non-rank buffer (rank -1), if any, are not included.
+  std::vector<std::vector<MsgRecord>> records;
+  std::uint64_t dropped = 0;  ///< records lost to buffer capacity
+
+  /// Throws std::runtime_error on missing keys or type mismatches (run
+  /// lint_msgtrace for a full, non-throwing violation list).
+  static MsgTraceReport from_json(const json::Value& root);
+};
+
+/// One segment of the measured critical path, in microseconds since the
+/// trace epoch. kind is "compute" (the rank was the cause of progress —
+/// includes any wait the path does not route through) or "transfer" (the
+/// path crosses from `peer` to `rank` through a message in flight).
+struct CriticalSegment {
+  int rank = -1;
+  int peer = -1;  ///< sending rank for transfer segments, -1 otherwise
+  std::string kind;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  double seconds() const { return (end_us - begin_us) * 1e-6; }
+};
+
+/// Wait-state and overlap rollup of one superstep (step -1 = pre-phase
+/// traffic, before the counting loop declares its first superstep).
+struct CausalStep {
+  int step = -1;
+  std::string name;
+  std::uint64_t pairs = 0;  ///< matched send/recv pairs delivered here
+  /// Scalasca-style classification of receiver-side blocking:
+  /// late-sender = the receive was posted before the data arrived (the
+  /// receiver idled on the wire); late-receiver = the data sat delivered
+  /// in the mailbox before the receive was posted.
+  double late_sender_seconds = 0.0;
+  double late_receiver_seconds = 0.0;
+  /// Residual delivery time outside both wait states.
+  double transfer_seconds = 0.0;
+  /// Measured overlap: wall time messages were in flight toward some
+  /// rank while that rank was *not* blocked receiving (max over ranks),
+  /// and the same capped at the α–β hidden-time prediction so the
+  /// shortfall (modeled - measured >= 0) is directly readable.
+  double concurrent_seconds = 0.0;
+  double measured_hidden_seconds = 0.0;
+  double modeled_hidden_seconds = 0.0;
+};
+
+struct CausalAnalysis {
+  // Record census.
+  std::uint64_t sends = 0;           ///< logical messages with a send record
+  std::uint64_t send_attempts = 0;   ///< wire attempts incl. retransmits
+  std::uint64_t retransmit_attempts = 0;
+  std::uint64_t dropped_attempts = 0;  ///< attempts eaten by injected drops
+  std::uint64_t recvs = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t matched = 0;         ///< recvs joined to a surviving attempt
+  std::uint64_t unmatched_recvs = 0;
+  bool truncated = false;  ///< capture dropped records; results are partial
+
+  // Measured whole-run view (wall seconds).
+  double makespan_seconds = 0.0;  ///< first post to last wire event
+  /// Length of the extracted critical path. Equals makespan_seconds by
+  /// construction (the backward walk telescopes), so |path - makespan|
+  /// beyond float noise means the walk or the trace is broken.
+  double path_seconds = 0.0;
+  std::vector<CriticalSegment> path;  ///< in time order
+
+  // Wait-state totals plus the per-superstep table.
+  double late_sender_seconds = 0.0;
+  double late_receiver_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  std::vector<CausalStep> steps;
+
+  // Overlap: measured vs modeled.
+  double concurrent_wall_seconds = 0.0;
+  double measured_hidden_seconds = 0.0;
+  double modeled_hidden_seconds = 0.0;
+  /// Sum of the artifact's modeled step table (α–β whole-run time).
+  double modeled_total_seconds = 0.0;
+};
+
+CausalAnalysis analyze_msgtrace(const MsgTraceReport& report);
+
+/// Prints the "causal" section: record census, measured critical path
+/// (reconciliation against the makespan plus the longest segments),
+/// per-superstep wait states, and the measured-vs-modeled overlap table
+/// with their deltas.
+void print_causal_report(const MsgTraceReport& report,
+                         const CausalAnalysis& analysis,
+                         int top_segments = 8);
+
+/// Regression diff between two tricount.msgtrace.v1 artifacts: structure
+/// and (chaos-free) counts exactly; measured times past the noise floor;
+/// and the measured-vs-modeled overlap divergence, so a candidate whose
+/// α–β prediction drifts away from measurement is flagged.
+DiffResult diff_msgtrace(const json::Value& baseline,
+                         const json::Value& candidate,
+                         const DiffOptions& options = {});
 
 }  // namespace tricount::obs::analysis

@@ -110,9 +110,36 @@ TEST(Overlap, SixteenRankRmatHidesNetworkAndReducesCommFraction) {
     EXPECT_EQ(step.hidden_seconds, 0.0) << step.name;
   }
 
-  // Hiding network time can only shrink the comm share of the tc phase.
-  EXPECT_LT(a_on.tc.comm_seconds, a_off.tc.comm_seconds);
-  EXPECT_LT(a_on.tc.comm_fraction, a_off.tc.comm_fraction);
+  // Hiding network time can only shrink the wire share of the tc phase.
+  // Overlap reschedules the same traffic, so per-step counted maxima are
+  // identical; compare the α–β network charges recomputed from them —
+  // the phase comm_seconds also carry the measured packing-CPU term,
+  // which varies with host scheduling and makes a cross-run < flaky.
+  const analysis::RunReport rep_off = core::build_run_report(off);
+  const analysis::RunReport rep_on = core::build_run_report(on);
+  ASSERT_EQ(rep_on.steps.size(), rep_off.steps.size());
+  double charged_off = 0.0, charged_on = 0.0, hidden_total = 0.0;
+  for (std::size_t i = 0; i < rep_on.steps.size(); ++i) {
+    if (rep_on.steps[i].phase != "tc") continue;
+    std::uint64_t on_messages = 0, on_bytes = 0, off_messages = 0,
+                  off_bytes = 0;
+    for (const analysis::RankSample& s : rep_on.steps[i].ranks) {
+      on_messages = std::max(on_messages, s.messages);
+      on_bytes = std::max(on_bytes, s.bytes);
+    }
+    for (const analysis::RankSample& s : rep_off.steps[i].ranks) {
+      off_messages = std::max(off_messages, s.messages);
+      off_bytes = std::max(off_bytes, s.bytes);
+    }
+    EXPECT_EQ(on_messages, off_messages) << rep_on.steps[i].name;
+    EXPECT_EQ(on_bytes, off_bytes) << rep_on.steps[i].name;
+    charged_off += rep_off.model.cost(off_messages, off_bytes);
+    charged_on += rep_on.model.cost(on_messages, on_bytes) -
+                  a_on.steps[i].hidden_seconds;
+    hidden_total += a_on.steps[i].hidden_seconds;
+  }
+  EXPECT_GT(hidden_total, 0.0);
+  EXPECT_LT(charged_on, charged_off);
 }
 
 TEST(Overlap, WindowChargesMaxOfComputeAndNetwork) {

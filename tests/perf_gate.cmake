@@ -1,7 +1,8 @@
 # Perf regression gate, run as `cmake -P` so it needs no shell.
 #
 # Inputs (all -D):
-#   MODE       check | selfdiff | perturb | chaosoff | overlapoff | flightoff
+#   MODE       check | selfdiff | perturb | chaosoff | overlapoff |
+#              flightoff | msgtraceoff | msgtracesmoke
 #   DATASET    rmat_s8 | ws_n512 (deterministic generator configs)
 #   RANKS      simulated rank count
 #   CLI        path to tricount_cli
@@ -31,6 +32,14 @@
 #             baseline — must exit 0, proving the flight recorder (on by
 #             default) never leaks into the metrics artifact and turning
 #             it off cannot change the run (docs/observability.md).
+#   msgtraceoff  re-run with the msgtrace output knobs spelled out but NO
+#             --msgtrace (capture stays uninstalled) — the msgtrace
+#             artifact must NOT be written and the metrics artifact must
+#             diff clean against the baseline (docs/observability.md).
+#   msgtracesmoke  re-run with --msgtrace, lint the captured artifact
+#             with `tricount_trace_lint --msgtrace`, and render the
+#             causal section via `tricount_perf report --msgtrace` —
+#             all must exit 0.
 #
 # Baseline refresh (after an intentional perf-affecting change):
 #   regenerate each artifact with the commands below and copy it over
@@ -148,6 +157,48 @@ elseif(MODE STREQUAL "flightoff")
     message(FATAL_ERROR
             "perf_gate: flight-disabled run diffs dirty against ${BASELINE} "
             "(${status}) — the flight recorder leaks into the artifact")
+  endif()
+elseif(MODE STREQUAL "msgtraceoff")
+  if(NOT EXISTS ${BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${BASELINE}")
+  endif()
+  set(MSGTRACEOFF ${WORK_DIR}/${DATASET}_r${RANKS}_msgtraceoff.json)
+  set(MSGTRACE_OUT ${WORK_DIR}/${DATASET}_r${RANKS}_msgtrace.json)
+  file(REMOVE ${MSGTRACE_OUT})
+  # Output knobs without --msgtrace must leave the capture uninstalled:
+  # no msgtrace artifact, and a metrics artifact that diffs clean.
+  run_count(${MSGTRACEOFF} --msgtrace-out ${MSGTRACE_OUT}
+            --msgtrace-capacity 4096)
+  if(EXISTS ${MSGTRACE_OUT})
+    message(FATAL_ERROR
+            "perf_gate: msgtrace artifact written without --msgtrace")
+  endif()
+  execute_process(
+    COMMAND ${PERF} diff ${BASELINE} ${MSGTRACEOFF}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: msgtrace-disabled run diffs dirty against ${BASELINE} "
+            "(${status}) — the msgtrace capture leaks into the artifact")
+  endif()
+elseif(MODE STREQUAL "msgtracesmoke")
+  set(METRICS ${WORK_DIR}/${DATASET}_r${RANKS}_msgtrace_metrics.json)
+  set(MSGTRACE_OUT ${WORK_DIR}/${DATASET}_r${RANKS}_msgtrace.json)
+  run_count(${METRICS} --msgtrace --msgtrace-out ${MSGTRACE_OUT})
+  if(NOT EXISTS ${MSGTRACE_OUT})
+    message(FATAL_ERROR "perf_gate: --msgtrace wrote no artifact")
+  endif()
+  execute_process(
+    COMMAND ${LINT} --msgtrace ${MSGTRACE_OUT}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "perf_gate: msgtrace lint failed (${status})")
+  endif()
+  execute_process(
+    COMMAND ${PERF} report ${METRICS} --msgtrace ${MSGTRACE_OUT}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "perf_gate: causal report failed (${status})")
   endif()
 elseif(MODE STREQUAL "perturb")
   if(NOT EXISTS ${BASELINE})

@@ -4,10 +4,11 @@
 // disjoint (no partial overlap).
 //
 // Usage:
-//   tricount_trace_lint FILE.json...           lint trace files; exit 1 on any violation
-//   tricount_trace_lint --metrics FILE.json... schema-validate tricount.metrics.v1/v2 files
-//   tricount_trace_lint --flight FILE.jsonl... validate tricount.flight.v1 dumps
-//   tricount_trace_lint --selftest             run the built-in good/bad fixtures
+//   tricount_trace_lint FILE.json...            lint trace files; exit 1 on any violation
+//   tricount_trace_lint --metrics FILE.json...  schema-validate tricount.metrics.v1/v2 files
+//   tricount_trace_lint --flight FILE.jsonl...  validate tricount.flight.v1 dumps
+//   tricount_trace_lint --msgtrace FILE.json... validate tricount.msgtrace.v1 artifacts
+//   tricount_trace_lint --selftest              run the built-in good/bad fixtures
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -16,6 +17,7 @@
 #include "tricount/obs/analysis.hpp"
 #include "tricount/obs/flight.hpp"
 #include "tricount/obs/json.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/trace.hpp"
 #include "tricount/util/build.hpp"
 
@@ -80,6 +82,29 @@ int lint_flight_file(const std::string& path) {
   }
   if (violations.empty()) {
     std::printf("%s: OK (%zu records)\n", path.c_str(), dump.records.size());
+    return 0;
+  }
+  return 1;
+}
+
+int lint_msgtrace_file(const std::string& path) {
+  obs::json::Value root;
+  try {
+    root = obs::json::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> violations = obs::lint_msgtrace(root);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+  }
+  if (violations.empty()) {
+    const obs::json::Value* recorded = root.find("recorded");
+    std::printf("%s: OK (%.0f records)\n", path.c_str(),
+                recorded != nullptr && recorded->is_number()
+                    ? recorded->as_number()
+                    : -1.0);
     return 0;
   }
   return 1;
@@ -199,6 +224,53 @@ int selftest() {
     }
   }
 
+  // --- tricount.msgtrace.v1 fixtures --------------------------------------
+
+  // Parameterized minimal artifact: one send (rank 0) and one matched
+  // recv (rank 1). The defaults are lint-clean; each bad fixture swaps
+  // one field.
+  auto msgtrace_fixture = [](const char* schema, const char* send_kind,
+                             double send_wire_us) {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        R"({"schema":"%s","capacity":16,"recorded":2,"dropped":0,)"
+        R"("run":{"ranks":2},"ranks":[)"
+        R"({"rank":0,"recorded":1,"dropped":0,"records":[)"
+        R"({"kind":"%s","peer":1,"tag":3,"step":-1,"gen":0,"id":1,"seq":0,)"
+        R"("bytes":8,"post_us":1.0,"wire_us":%g}]},)"
+        R"({"rank":1,"recorded":1,"dropped":0,"records":[)"
+        R"({"kind":"recv","peer":0,"tag":3,"step":0,"gen":0,"id":1,"seq":0,)"
+        R"("bytes":8,"post_us":1.5,"wire_us":2.5}]}]})",
+        schema, send_kind, send_wire_us);
+    return obs::json::Value::parse(buf);
+  };
+  if (!obs::lint_msgtrace(msgtrace_fixture("tricount.msgtrace.v1", "send", 2.0))
+           .empty()) {
+    std::fprintf(stderr, "selftest: clean msgtrace flagged\n");
+    ++failures;
+  }
+  // wire_us before post_us must be flagged (delivery cannot precede the
+  // post of the very call that recorded it).
+  if (obs::lint_msgtrace(msgtrace_fixture("tricount.msgtrace.v1", "send", 0.5))
+          .empty()) {
+    std::fprintf(stderr, "selftest: msgtrace wire<post not flagged\n");
+    ++failures;
+  }
+  // Unknown record kind and a bad schema must both be flagged.
+  if (obs::lint_msgtrace(
+          msgtrace_fixture("tricount.msgtrace.v1", "teleport", 2.0))
+          .empty()) {
+    std::fprintf(stderr, "selftest: unknown msgtrace kind not flagged\n");
+    ++failures;
+  }
+  if (obs::lint_msgtrace(
+          msgtrace_fixture("tricount.msgtrace.v999", "send", 2.0))
+          .empty()) {
+    std::fprintf(stderr, "selftest: bad msgtrace schema not flagged\n");
+    ++failures;
+  }
+
   if (failures == 0) std::printf("selftest: OK\n");
   return failures == 0 ? 0 : 1;
 }
@@ -209,8 +281,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: tricount_trace_lint <FILE.json...|--metrics "
-                 "FILE.json...|--flight FILE.jsonl...|--selftest|"
-                 "--version>\n");
+                 "FILE.json...|--flight FILE.jsonl...|--msgtrace "
+                 "FILE.json...|--selftest|--version>\n");
     return 2;
   }
   if (std::strcmp(argv[1], "--selftest") == 0) return selftest();
@@ -221,16 +293,20 @@ int main(int argc, char** argv) {
   }
   const bool metrics_mode = std::strcmp(argv[1], "--metrics") == 0;
   const bool flight_mode = std::strcmp(argv[1], "--flight") == 0;
-  if ((metrics_mode || flight_mode) && argc < 3) {
+  const bool msgtrace_mode = std::strcmp(argv[1], "--msgtrace") == 0;
+  const bool has_mode = metrics_mode || flight_mode || msgtrace_mode;
+  if (has_mode && argc < 3) {
     std::fprintf(stderr, "usage: tricount_trace_lint %s FILE...\n", argv[1]);
     return 2;
   }
   int status = 0;
-  for (int i = (metrics_mode || flight_mode) ? 2 : 1; i < argc; ++i) {
+  for (int i = has_mode ? 2 : 1; i < argc; ++i) {
     if (metrics_mode) {
       status |= lint_metrics_file(argv[i]);
     } else if (flight_mode) {
       status |= lint_flight_file(argv[i]);
+    } else if (msgtrace_mode) {
+      status |= lint_msgtrace_file(argv[i]);
     } else {
       status |= lint_file(argv[i]);
     }

@@ -44,6 +44,7 @@
 #include "tricount/graph/stats.hpp"
 #include "tricount/kernels/kernels.hpp"
 #include "tricount/obs/flight.hpp"
+#include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/telemetry.hpp"
 #include "tricount/util/argparse.hpp"
 #include "tricount/util/build.hpp"
@@ -298,6 +299,34 @@ class FlightSession {
   std::string telemetry_path_;
 };
 
+/// Owns the causal message-trace capture for one `count` run. Separate
+/// from FlightSession because msgtrace is off by default (capture adds a
+/// record per message; the flight recorder is cheap enough to stay on):
+/// no --msgtrace means no MsgTrace is ever constructed, so off-mode runs
+/// and their artifacts are byte-identical to pre-msgtrace builds.
+class MsgTraceSession {
+ public:
+  MsgTraceSession(const util::ArgParser& args, int ranks) {
+    if (!args.get_bool("msgtrace")) return;
+    const auto capacity = static_cast<std::size_t>(
+        std::max<long long>(args.get_int("msgtrace-capacity"), 1));
+    trace_ = std::make_unique<obs::MsgTrace>(ranks, capacity);
+    trace_->install();
+  }
+
+  ~MsgTraceSession() {
+    if (trace_ != nullptr) trace_->uninstall();
+  }
+
+  MsgTraceSession(const MsgTraceSession&) = delete;
+  MsgTraceSession& operator=(const MsgTraceSession&) = delete;
+
+  const obs::MsgTrace* trace() const { return trace_.get(); }
+
+ private:
+  std::unique_ptr<obs::MsgTrace> trace_;
+};
+
 int cmd_count(int argc, const char* const* argv) {
   util::ArgParser args("tricount_cli count",
                        "Distributed triangle counting.");
@@ -353,6 +382,14 @@ int cmd_count(int argc, const char* const* argv) {
                   "path (read by tricount_top / tricount_perf watch)");
   args.add_option("flight-telemetry-interval-ms", "200",
                   "telemetry publish interval in milliseconds");
+  args.add_flag("msgtrace", false,
+                "capture causal message traces and write the "
+                "tricount.msgtrace.v1 artifact (2d only; "
+                "docs/observability.md)");
+  args.add_option("msgtrace-out", "msgtrace.json",
+                  "path for the msgtrace artifact (with --msgtrace)");
+  args.add_option("msgtrace-capacity", "65536",
+                  "msgtrace buffer capacity in records per rank");
   chaos::add_chaos_options(args);
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
@@ -402,6 +439,7 @@ int cmd_count(int argc, const char* const* argv) {
       }
     }
     FlightSession flight_session(args, ranks);
+    MsgTraceSession msgtrace_session(args, ranks);
     const auto result = core::count_triangles_2d(g, ranks, options);
     std::printf("triangles: %llu\n",
                 static_cast<unsigned long long>(result.triangles));
@@ -430,6 +468,11 @@ int cmd_count(int argc, const char* const* argv) {
       core::write_run_metrics(result, args.get("metrics-out"));
       std::printf("wrote metrics: %s\n", args.get("metrics-out").c_str());
     }
+    if (msgtrace_session.trace() != nullptr) {
+      core::write_run_msgtrace(result, *msgtrace_session.trace(),
+                               args.get("msgtrace-out"));
+      std::printf("wrote msgtrace: %s\n", args.get("msgtrace-out").c_str());
+    }
     if (args.get_bool("comm-matrix")) {
       print_comm_heatmap(result.comm_matrix);
     }
@@ -455,6 +498,12 @@ int cmd_count(int argc, const char* const* argv) {
     options.chaos = chaos::plan_from_args(args, rows * cols);
     options.watchdog_seconds = watchdog;
     FlightSession flight_session(args, rows * cols);
+    if (args.get_bool("msgtrace")) {
+      // SUMMA has no RunResult-based artifact pipeline; the capture
+      // hooks fire but there is nothing to serialize them into yet.
+      std::fprintf(stderr,
+                   "note: --msgtrace artifact output is 2d-only; ignoring\n");
+    }
     const auto result = core::count_triangles_summa(g, options);
     std::printf("triangles: %llu (grid %dx%d, %d panels)\n",
                 static_cast<unsigned long long>(result.triangles),

@@ -2,21 +2,27 @@
 //
 // Usage:
 //   tricount_perf report <metrics.json> [--top N] [--flight-dir DIR]
+//                        [--msgtrace TRACE]
 //       Human-readable bottleneck report: dominant phase, comm fractions,
 //       load imbalance, top straggler ranks, per-superstep critical path,
 //       chaos fault tallies (when the artifact came from a chaos run),
 //       and the α–β consistency check. With --flight-dir, also a section
 //       correlating the directory's tricount.flight.v1 dumps (dump
 //       reason, last recorded superstep, crash markers) with the run.
+//       With --msgtrace, also the causal section from the given
+//       tricount.msgtrace.v1 artifact: measured critical path, wait
+//       states, and measured-vs-modeled overlap.
 //       Exit 1 when the consistency check fails, 0 otherwise.
 //
 //   tricount_perf diff <baseline.json> <candidate.json>
 //                      [--max-regress PCT] [--noise-floor SECONDS]
 //       Field-by-field regression gate between two artifacts of the same
-//       schema (tricount.metrics.v1 or tricount.bench.v1). Counts and
-//       structure compare exactly; model-derived network times by the
-//       --max-regress threshold; measured CPU times and imbalance gate
-//       only past both the threshold and the absolute noise floor.
+//       schema (tricount.metrics.v1, tricount.bench.v1, or
+//       tricount.msgtrace.v1). Counts and structure compare exactly;
+//       model-derived network times by the --max-regress threshold;
+//       measured CPU times and imbalance gate only past both the
+//       threshold and the absolute noise floor. For msgtrace artifacts
+//       the gate also covers the measured-vs-modeled overlap divergence.
 //       Exit 1 on any gating difference, 0 when clean.
 //
 //   tricount_perf watch [--file PATH] [--once] [--jsonl] [--interval-ms N]
@@ -51,7 +57,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: tricount_perf report <metrics.json> [--top N] "
-      "[--flight-dir DIR]\n"
+      "[--flight-dir DIR] [--msgtrace TRACE]\n"
       "       tricount_perf diff <baseline.json> <candidate.json>\n"
       "                     [--max-regress PCT] [--noise-floor SECONDS]\n"
       "       tricount_perf watch [--file PATH] [--once] [--jsonl]\n"
@@ -150,15 +156,33 @@ int print_flight_section(const std::string& dir) {
   return 0;
 }
 
+/// The `report --msgtrace` section: the causal analysis of a saved
+/// tricount.msgtrace.v1 artifact. Returns 2 on unreadable artifacts.
+int print_causal_section(const std::string& path, int top) {
+  analysis::MsgTraceReport report;
+  try {
+    report = analysis::MsgTraceReport::from_json(obs::json::read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tricount_perf: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  const analysis::CausalAnalysis causal = analysis::analyze_msgtrace(report);
+  analysis::print_causal_report(report, causal, top);
+  return 0;
+}
+
 int cmd_report(const std::vector<std::string>& args) {
   std::string path;
   std::string flight_dir;
+  std::string msgtrace_path;
   int top = 5;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--top" && i + 1 < args.size()) {
       top = std::atoi(args[++i].c_str());
     } else if (args[i] == "--flight-dir" && i + 1 < args.size()) {
       flight_dir = args[++i];
+    } else if (args[i] == "--msgtrace" && i + 1 < args.size()) {
+      msgtrace_path = args[++i];
     } else if (path.empty() && args[i][0] != '-') {
       path = args[i];
     } else {
@@ -178,6 +202,10 @@ int cmd_report(const std::vector<std::string>& args) {
   analysis::print_report(report, result, top);
   if (!flight_dir.empty()) {
     const int rc = print_flight_section(flight_dir);
+    if (rc != 0) return rc;
+  }
+  if (!msgtrace_path.empty()) {
+    const int rc = print_causal_section(msgtrace_path, top);
     if (rc != 0) return rc;
   }
   return result.consistency_issues.empty() ? 0 : 1;
@@ -268,17 +296,30 @@ int cmd_watch(const std::vector<std::string>& args) {
   }
 
   // Wait briefly for the publisher to create the snapshot, then stream
-  // it — the same view tricount_top renders.
+  // it — the same view tricount_top renders. The publisher rewrites the
+  // file on every interval, so a read can race the writer and observe a
+  // torn or truncated snapshot: once a snapshot has been seen, parse and
+  // render failures are treated as transient and retried, and only a
+  // sustained run of consecutive failures (the publisher is gone or the
+  // file was replaced with garbage) ends the stream.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  constexpr int kMaxConsecutiveFailures = 100;  // ~5 s at the 50 ms retry
+  int consecutive_failures = 0;
   std::string last_rendered;
   bool seen = false;
   for (;;) {
     obs::json::Value snapshot;
+    std::string rendered;
     try {
       snapshot = obs::json::read_file(path);
+      if (!jsonl) rendered = obs::render_telemetry(snapshot);
     } catch (const std::exception& e) {
       if (!seen && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      if (seen && ++consecutive_failures < kMaxConsecutiveFailures) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         continue;
       }
@@ -286,23 +327,15 @@ int cmd_watch(const std::vector<std::string>& args) {
       return 2;
     }
     seen = true;
+    consecutive_failures = 0;
     if (jsonl) {
       std::printf("%s\n", snapshot.dump().c_str());
       std::fflush(stdout);
-    } else {
-      std::string rendered;
-      try {
-        rendered = obs::render_telemetry(snapshot);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "tricount_perf: %s\n", e.what());
-        return 2;
-      }
-      if (rendered != last_rendered) {
-        if (!once && !last_rendered.empty()) std::printf("\n");
-        std::fputs(rendered.c_str(), stdout);
-        std::fflush(stdout);
-        last_rendered = std::move(rendered);
-      }
+    } else if (rendered != last_rendered) {
+      if (!once && !last_rendered.empty()) std::printf("\n");
+      std::fputs(rendered.c_str(), stdout);
+      std::fflush(stdout);
+      last_rendered = std::move(rendered);
     }
     if (once) return 0;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));

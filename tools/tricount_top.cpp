@@ -25,12 +25,15 @@ namespace {
 
 using namespace tricount;
 
-/// Reads one snapshot, tolerating the race where the publisher has not
-/// created the file yet (or is mid-rename on a non-atomic filesystem).
-bool try_read(const std::string& path, obs::json::Value& out,
-              std::string& error) {
+/// Reads and renders one snapshot, tolerating the race where the
+/// publisher has not created the file yet, is mid-rename on a
+/// non-atomic filesystem, or is mid-rewrite (a torn/truncated snapshot
+/// parses but fails to render, or fails to parse at all).
+bool try_read(const std::string& path, bool jsonl, obs::json::Value& out,
+              std::string& rendered, std::string& error) {
   try {
     out = obs::json::read_file(path);
+    if (!jsonl) rendered = obs::render_telemetry(out);
     return true;
   } catch (const std::exception& e) {
     error = e.what();
@@ -63,13 +66,24 @@ int main(int argc, char** argv) {
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(std::max<long long>(args.get_int("wait-ms"), 0));
 
+  // Once a snapshot has been seen, failures are treated as transient
+  // (the publisher rewrites the file every interval, so reads can race
+  // the writer); only a sustained run of consecutive failures ends the
+  // stream.
+  constexpr int kMaxConsecutiveFailures = 100;  // ~5 s at the 50 ms retry
+  int consecutive_failures = 0;
   std::string last_rendered;
   bool seen = false;
   for (;;) {
     obs::json::Value snapshot;
+    std::string rendered;
     std::string error;
-    if (!try_read(path, snapshot, error)) {
+    if (!try_read(path, jsonl, snapshot, rendered, error)) {
       if (!seen && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      if (seen && ++consecutive_failures < kMaxConsecutiveFailures) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         continue;
       }
@@ -77,23 +91,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     seen = true;
+    consecutive_failures = 0;
     if (jsonl) {
       std::printf("%s\n", snapshot.dump().c_str());
       std::fflush(stdout);
-    } else {
-      std::string rendered;
-      try {
-        rendered = obs::render_telemetry(snapshot);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "tricount_top: %s\n", e.what());
-        return 1;
-      }
-      if (rendered != last_rendered) {
-        if (!once && !last_rendered.empty()) std::printf("\n");
-        std::fputs(rendered.c_str(), stdout);
-        std::fflush(stdout);
-        last_rendered = std::move(rendered);
-      }
+    } else if (rendered != last_rendered) {
+      if (!once && !last_rendered.empty()) std::printf("\n");
+      std::fputs(rendered.c_str(), stdout);
+      std::fflush(stdout);
+      last_rendered = std::move(rendered);
     }
     if (once) return 0;
     std::this_thread::sleep_for(interval);
