@@ -6,18 +6,31 @@
 // number of ranks.
 #include "common.hpp"
 
+#include "tricount/cetric/cetric.hpp"
+
 int main(int argc, char** argv) {
   using namespace tricount;
 
   util::ArgParser args("bench_figure3_comm_fraction", "Reproduces Figure 3.");
   bench::add_common_options(args, /*default_scale=*/15,
                             "16,25,36,49,64,81,100,121,144,169");
+  args.add_option("algo", "2d",
+                  "counting algorithm to sweep: 2d | cetric (cetric uses a "
+                  "1D partition, so non-square rank counts run too)");
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
+
+  const std::string algo = args.get("algo");
+  if (algo != "2d" && algo != "cetric") {
+    std::fprintf(stderr, "unknown --algo '%s' (want 2d or cetric)\n",
+                 algo.c_str());
+    return 1;
+  }
 
   const bench::Dataset dataset =
       bench::overhead_dataset(static_cast<int>(args.get_int("scale")));
   bench::banner("Figure 3: communication fraction of phase time, " +
-                    dataset.name,
+                    dataset.name +
+                    (algo == "2d" ? "" : " (" + algo + ")"),
                 "percentage of modeled phase time attributed to the "
                 "alpha-beta communication term.");
 
@@ -33,9 +46,19 @@ int main(int argc, char** argv) {
   double first_tct = -1.0;
   double last_tct = 0.0;
   for (const int p : bench::ranks_from_args(args)) {
-    if (mpisim::perfect_square_root(p) == 0) continue;
+    // The 2D pipeline needs a square grid; cetric's 1D partition takes
+    // any rank count, so its sweep keeps the full schedule.
+    if (algo == "2d" && mpisim::perfect_square_root(p) == 0) continue;
     options.chaos = bench::chaos_from_args(args, p);
-    const core::RunResult r = bench::median_run(csr, p, options, reps);
+    const core::RunResult r =
+        algo == "cetric"
+            ? bench::median_run(csr, p, options, reps,
+                                [](const graph::Csr& c, int ranks,
+                                   const core::RunOptions& o) {
+                                  return cetric::count_triangles_cetric(
+                                      c, ranks, o);
+                                })
+            : bench::median_run(csr, p, options, reps);
     const double ppt_pct =
         100.0 * r.pre_modeled_comm_seconds() / r.pre_modeled_seconds();
     const double tct_pct =

@@ -148,12 +148,17 @@ inline void maybe_write_csv(const util::Table& table, const std::string& base,
 /// median is a robust estimator of each rank's true work; traffic and
 /// operation counters are deterministic, so they are taken from the first
 /// run unchanged.
+/// `run_once(csr, ranks, options)` produces one repetition; the overload
+/// below defaults it to the 2D pipeline, and benches sweeping other
+/// algorithms (e.g. --algo cetric) pass their own counter.
+template <typename Runner>
 inline core::RunResult median_run(const graph::Csr& csr, int ranks,
-                                  const core::RunOptions& options, int reps) {
+                                  const core::RunOptions& options, int reps,
+                                  Runner&& run_once) {
   std::vector<core::RunResult> runs;
   runs.reserve(static_cast<std::size_t>(std::max(1, reps)));
   for (int i = 0; i < std::max(1, reps); ++i) {
-    runs.push_back(core::count_triangles_2d(csr, ranks, options));
+    runs.push_back(run_once(csr, ranks, options));
   }
   core::RunResult merged = runs.front();
   auto median_of = [&](auto getter) {
@@ -189,6 +194,14 @@ inline core::RunResult median_run(const graph::Csr& csr, int ranks,
   return merged;
 }
 
+inline core::RunResult median_run(const graph::Csr& csr, int ranks,
+                                  const core::RunOptions& options, int reps) {
+  return median_run(csr, ranks, options, reps,
+                    [](const graph::Csr& c, int r, const core::RunOptions& o) {
+                      return core::count_triangles_2d(c, r, o);
+                    });
+}
+
 /// Collects one JSON record per (dataset, rank count) configuration and
 /// writes them as BENCH_<name>.json — the machine-readable counterpart of
 /// the printed table, with a fixed schema so plots and regression checks
@@ -205,6 +218,9 @@ class JsonReport {
     obs::json::Value record = obs::json::Value::object();
     record.set("dataset", dataset);
     record.set("ranks", r.ranks);
+    // Key absent on 2D records (the historical schema); readers default a
+    // missing algorithm to "2d", and existing BENCH_*.json stay identical.
+    if (r.algorithm != "2d") record.set("algorithm", r.algorithm);
     record.set("triangles", static_cast<std::uint64_t>(r.triangles));
     record.set("vertices", static_cast<std::uint64_t>(r.num_vertices));
     record.set("edges", static_cast<std::uint64_t>(r.num_edges));
@@ -245,6 +261,9 @@ class JsonReport {
     obs::json::Value provenance = obs::json::Value::object();
     provenance.set("generator", std::move(generator));
     provenance.set("ranks", r.ranks);
+    // Part of provenance so `tricount_perf diff` never gates a cetric
+    // record against a 2D one.
+    if (r.algorithm != "2d") provenance.set("algorithm", r.algorithm);
     obs::json::Value model = obs::json::Value::object();
     model.set("alpha_seconds", r.model.alpha_seconds);
     model.set("beta_seconds_per_byte", r.model.beta_seconds_per_byte);

@@ -36,6 +36,7 @@ obs::analysis::RunReport report_of(const RunResult& result) {
   obs::analysis::RunReport report;
   report.ranks = result.ranks;
   report.grid_q = result.grid_q;
+  report.algorithm = result.algorithm;
   report.vertices = static_cast<std::uint64_t>(result.num_vertices);
   report.edges = static_cast<std::uint64_t>(result.num_edges);
   report.triangles = static_cast<std::uint64_t>(result.triangles);
@@ -197,6 +198,26 @@ obs::Snapshot build_run_snapshot(const RunResult& result) {
     registry.gauge("tc.overlap.exposed_network_seconds").set(exposed_total);
   }
 
+  // Cetric's local/cut classification and wedge-traffic tallies, present
+  // only on cetric runs: 2D artifacts stay byte-identical to the
+  // checked-in baselines, and lint_metrics can reconcile these against
+  // the comm-matrix user rows (all user traffic of a cetric run is
+  // cut-wedge traffic).
+  if (!result.per_rank_cetric.empty()) {
+    const CetricRankCounters cet = result.total_cetric();
+    registry.counter("tc.cetric.local_triangles").set(cet.local_triangles);
+    registry.counter("tc.cetric.cut_triangles").set(cet.cut_triangles);
+    registry.counter("tc.cetric.cut_wedges_sent").set(cet.cut_wedges_sent);
+    registry.counter("tc.cetric.cut_wedge_messages_sent")
+        .set(cet.cut_wedge_messages_sent);
+    registry.counter("tc.cetric.cut_wedge_bytes_sent")
+        .set(cet.cut_wedge_bytes_sent);
+    registry.counter("tc.cetric.ghost_lists_fetched")
+        .set(cet.ghost_lists_fetched);
+    registry.counter("tc.cetric.ghost_list_entries")
+        .set(cet.ghost_list_entries);
+  }
+
   // Chaos tallies appear only on chaos runs, so fault-free artifacts stay
   // byte-comparable to pre-chaos baselines (tests/perf_gate.cmake).
   if (result.chaos_enabled) {
@@ -269,6 +290,10 @@ obs::json::Value build_run_metrics(const RunResult& result) {
   Value run = Value::object();
   run.set("ranks", result.ranks);
   run.set("grid_q", result.grid_q);
+  // The algorithm tag is written only for non-2D runs: artifacts written
+  // before the key existed (all 2D) stay byte-identical, and readers
+  // default a missing key to "2d".
+  if (result.algorithm != "2d") run.set("algorithm", result.algorithm);
   run.set("vertices", static_cast<std::uint64_t>(result.num_vertices));
   run.set("edges", static_cast<std::uint64_t>(result.num_edges));
   run.set("triangles", static_cast<std::uint64_t>(result.triangles));
@@ -333,6 +358,17 @@ obs::json::Value build_run_metrics(const RunResult& result) {
       entry.set("chaos_bytes_sent", c.chaos_bytes_sent);
       entry.set("chaos_acks_sent", c.chaos_acks_sent);
     }
+    // Per-rank local/cut classification, present only on cetric runs.
+    if (r < result.per_rank_cetric.size()) {
+      const CetricRankCounters& cet = result.per_rank_cetric[r];
+      entry.set("cetric_local_triangles", cet.local_triangles);
+      entry.set("cetric_cut_triangles", cet.cut_triangles);
+      entry.set("cetric_cut_wedges_sent", cet.cut_wedges_sent);
+      entry.set("cetric_cut_wedge_messages_sent", cet.cut_wedge_messages_sent);
+      entry.set("cetric_cut_wedge_bytes_sent", cet.cut_wedge_bytes_sent);
+      entry.set("cetric_ghost_lists_fetched", cet.ghost_lists_fetched);
+      entry.set("cetric_ghost_list_entries", cet.ghost_list_entries);
+    }
     entry.set("comm_cpu_seconds", c.comm_cpu_seconds);
     per_rank.push_back(std::move(entry));
   }
@@ -359,6 +395,7 @@ obs::json::Value build_run_msgtrace(const RunResult& result,
   Value run = Value::object();
   run.set("ranks", result.ranks);
   run.set("grid_q", result.grid_q);
+  if (result.algorithm != "2d") run.set("algorithm", result.algorithm);
   run.set("vertices", static_cast<std::uint64_t>(result.num_vertices));
   run.set("edges", static_cast<std::uint64_t>(result.num_edges));
   run.set("triangles", static_cast<std::uint64_t>(result.triangles));

@@ -153,6 +153,20 @@ mpisim::ChaosCounters RunResult::total_chaos() const {
   return total;
 }
 
+CetricRankCounters RunResult::total_cetric() const {
+  CetricRankCounters total;
+  for (const CetricRankCounters& c : per_rank_cetric) {
+    total.local_triangles += c.local_triangles;
+    total.cut_triangles += c.cut_triangles;
+    total.cut_wedges_sent += c.cut_wedges_sent;
+    total.cut_wedge_messages_sent += c.cut_wedge_messages_sent;
+    total.cut_wedge_bytes_sent += c.cut_wedge_bytes_sent;
+    total.ghost_lists_fetched += c.ghost_lists_fetched;
+    total.ghost_list_entries += c.ghost_list_entries;
+  }
+  return total;
+}
+
 KernelCounters RunResult::total_kernel() const {
   KernelCounters total;
   for (const RankStats& stats : per_rank) total += stats.kernel;

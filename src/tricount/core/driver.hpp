@@ -36,9 +36,23 @@ struct RunOptions {
   double watchdog_seconds = 0.0;
 };
 
+/// One rank's CETRIC tallies (src/tricount/cetric/, docs/cetric.md):
+/// the local-vs-cut triangle classification plus the cut-wedge and
+/// ghost-exchange traffic the communication-avoiding claims rest on.
+struct CetricRankCounters {
+  std::uint64_t local_triangles = 0;
+  std::uint64_t cut_triangles = 0;
+  std::uint64_t cut_wedges_sent = 0;
+  std::uint64_t cut_wedge_messages_sent = 0;
+  std::uint64_t cut_wedge_bytes_sent = 0;
+  std::uint64_t ghost_lists_fetched = 0;
+  std::uint64_t ghost_list_entries = 0;
+};
+
 struct RunResult {
   graph::TriangleCount triangles = 0;
   int ranks = 0;
+  /// Cannon/SUMMA grid edge; 0 for 1D-partitioned algorithms (cetric).
   int grid_q = 0;
   VertexId num_vertices = 0;
   EdgeIndex num_edges = 0;
@@ -58,8 +72,15 @@ struct RunResult {
   bool overlap_enabled = false;
   /// Per-rank chaos tallies (all zero unless chaos_enabled).
   std::vector<mpisim::ChaosCounters> per_rank_chaos;
+  /// Which counting algorithm produced this result ("2d" or "cetric").
+  /// Artifacts serialize the key only when it differs from "2d", so
+  /// pre-cetric baselines stay byte-identical.
+  std::string algorithm = "2d";
+  /// Per-rank CETRIC tallies (empty unless algorithm == "cetric").
+  std::vector<CetricRankCounters> per_rank_cetric;
 
   mpisim::ChaosCounters total_chaos() const;
+  CetricRankCounters total_cetric() const;
 
   // --- derived metrics (see instrumentation.hpp for the model) ----------
 

@@ -44,6 +44,10 @@ RunReport RunReport::from_metrics_json(const json::Value& root) {
   const json::Value& run = root.get("run");
   report.ranks = static_cast<int>(run.get("ranks").as_uint());
   report.grid_q = static_cast<int>(run.get("grid_q").as_uint());
+  // Absent in 2D artifacts (all baselines predate the key).
+  if (const json::Value* algorithm = run.find("algorithm")) {
+    report.algorithm = algorithm->as_string();
+  }
   report.vertices = run.get("vertices").as_uint();
   report.edges = run.get("edges").as_uint();
   report.triangles = run.get("triangles").as_uint();
@@ -254,12 +258,21 @@ Analysis analyze(const RunReport& report, double tolerance) {
 void print_report(const RunReport& report, const Analysis& analysis,
                   int top_stragglers) {
   util::print_heading("run");
-  std::printf("ranks %d (grid %dx%d), %llu vertices, %llu edges, %llu "
-              "triangles\n",
-              report.ranks, report.grid_q, report.grid_q,
-              static_cast<unsigned long long>(report.vertices),
-              static_cast<unsigned long long>(report.edges),
-              static_cast<unsigned long long>(report.triangles));
+  if (report.algorithm == "2d") {
+    std::printf("ranks %d (grid %dx%d), %llu vertices, %llu edges, %llu "
+                "triangles\n",
+                report.ranks, report.grid_q, report.grid_q,
+                static_cast<unsigned long long>(report.vertices),
+                static_cast<unsigned long long>(report.edges),
+                static_cast<unsigned long long>(report.triangles));
+  } else {
+    std::printf("algorithm %s, ranks %d (1D partition), %llu vertices, "
+                "%llu edges, %llu triangles\n",
+                report.algorithm.c_str(), report.ranks,
+                static_cast<unsigned long long>(report.vertices),
+                static_cast<unsigned long long>(report.edges),
+                static_cast<unsigned long long>(report.triangles));
+  }
   std::printf("model: alpha %.3g s/message, beta %.3g s/byte\n",
               report.model.alpha_seconds, report.model.beta_seconds_per_byte);
 
@@ -439,6 +452,49 @@ void print_report(const RunReport& report, const Analysis& analysis,
     table.print();
   }
 
+  // Cetric classification (docs/cetric.md): the tc.cetric.* block exists
+  // only in artifacts from the communication-avoiding counter, so 2D
+  // reports render unchanged. The local-vs-cut split is the algorithm's
+  // headline number — the share of the triangle total that cost zero
+  // point-to-point messages.
+  {
+    const auto& counters = report.metrics.counters;
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    };
+    if (counters.find("tc.cetric.local_triangles") != counters.end()) {
+      const std::uint64_t local = counter("tc.cetric.local_triangles");
+      const std::uint64_t cut = counter("tc.cetric.cut_triangles");
+      const std::uint64_t total = local + cut;
+      util::print_heading("cetric classification");
+      util::Table table({"class", "triangles", "share %"});
+      table.row().cell("local (zero-message)").cell(local).cell(
+          total > 0 ? 100.0 * static_cast<double>(local) /
+                          static_cast<double>(total)
+                    : 0.0,
+          1);
+      table.row().cell("cut (wedges routed)").cell(cut).cell(
+          total > 0 ? 100.0 * static_cast<double>(cut) /
+                          static_cast<double>(total)
+                    : 0.0,
+          1);
+      table.print();
+      std::printf("cut wedges sent %llu in %llu messages (%llu bytes); "
+                  "ghost lists pulled %llu (%llu entries)\n",
+                  static_cast<unsigned long long>(
+                      counter("tc.cetric.cut_wedges_sent")),
+                  static_cast<unsigned long long>(
+                      counter("tc.cetric.cut_wedge_messages_sent")),
+                  static_cast<unsigned long long>(
+                      counter("tc.cetric.cut_wedge_bytes_sent")),
+                  static_cast<unsigned long long>(
+                      counter("tc.cetric.ghost_lists_fetched")),
+                  static_cast<unsigned long long>(
+                      counter("tc.cetric.ghost_list_entries")));
+    }
+  }
+
   // Chaos tallies (docs/chaos.md): present only in artifacts from runs
   // with fault injection armed, so fault-free reports are unchanged.
   {
@@ -574,26 +630,48 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
     }
 
     std::size_t ranks = 0;
+    std::string algorithm = "2d";
+    double declared_triangles = -1.0;
     if (const json::Value* run = lint.require(root, "run", "document")) {
       const double r = lint.counter(*run, "ranks", "run");
       const double q = lint.counter(*run, "grid_q", "run");
+      // Absent on 2D artifacts by construction — writers omit the key so
+      // pre-existing baselines stay byte-identical.
+      if (const json::Value* algo = run->find("algorithm")) {
+        if (!algo->is_string()) {
+          lint.flag("run: 'algorithm' is not a string");
+        } else {
+          algorithm = algo->as_string();
+          if (algorithm == "2d") {
+            lint.flag("run: 'algorithm' key must be omitted on 2d artifacts");
+          }
+        }
+      }
       if (r >= 0 && r < 1) lint.flag("run: 'ranks' must be >= 1");
-      if (r >= 1 && q >= 0 && q * q != r) {
-        lint.flag("run: grid_q^2 != ranks");
+      if (algorithm == "2d") {
+        if (r >= 1 && q >= 0 && q * q != r) {
+          lint.flag("run: grid_q^2 != ranks");
+        }
+      } else if (q > 0) {
+        lint.flag("run: grid_q must be 0 for 1D-partitioned algorithms");
       }
       ranks = r >= 1 ? static_cast<std::size_t>(r) : 0;
       lint.counter(*run, "vertices", "run");
       lint.counter(*run, "edges", "run");
-      lint.counter(*run, "triangles", "run");
+      declared_triangles = lint.counter(*run, "triangles", "run");
       if (const json::Value* model = lint.require(*run, "model", "run")) {
         lint.number(*model, "alpha_seconds", "run.model");
         lint.number(*model, "beta_seconds_per_byte", "run.model");
       }
     }
 
+    // Hoisted out of the try so the cetric cross-checks below can see the
+    // artifact's counters even though Snapshot parsing may throw.
+    std::map<std::string, std::uint64_t> metric_counters;
     if (const json::Value* metrics = lint.require(root, "metrics", "document")) {
       try {
         const Snapshot snapshot = Snapshot::from_json(*metrics);
+        metric_counters = snapshot.counters;
         for (const char* gauge :
              {"phase.pre.modeled_seconds", "phase.pre.modeled_comm_seconds",
               "phase.tc.modeled_seconds", "phase.tc.modeled_comm_seconds",
@@ -675,7 +753,12 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
     std::vector<double> chaos_messages_sent(ranks, -1.0);
     std::vector<double> chaos_bytes_sent(ranks, -1.0);
     std::vector<double> chaos_acks_sent(ranks, -1.0);
+    std::vector<double> cetric_local(ranks, -1.0);
+    std::vector<double> cetric_cut(ranks, -1.0);
+    std::vector<double> cetric_wedge_messages(ranks, -1.0);
+    std::vector<double> cetric_wedge_bytes(ranks, -1.0);
     bool per_rank_chaos = false;
+    bool per_rank_cetric = false;
     if (const json::Value* per_rank =
             lint.require(root, "per_rank", "document")) {
       if (!per_rank->is_array() || per_rank->size() != ranks) {
@@ -704,6 +787,22 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
                 lint.counter(row, "chaos_messages_sent", where);
             chaos_bytes_sent[r] = lint.counter(row, "chaos_bytes_sent", where);
             chaos_acks_sent[r] = lint.counter(row, "chaos_acks_sent", where);
+          }
+          // The cetric classification columns appear only in cetric-run
+          // artifacts, and then the whole bundle together.
+          if (row.find("cetric_local_triangles") != nullptr ||
+              row.find("cetric_cut_triangles") != nullptr ||
+              row.find("cetric_cut_wedge_messages_sent") != nullptr) {
+            per_rank_cetric = true;
+            cetric_local[r] = lint.counter(row, "cetric_local_triangles", where);
+            cetric_cut[r] = lint.counter(row, "cetric_cut_triangles", where);
+            lint.counter(row, "cetric_cut_wedges_sent", where);
+            cetric_wedge_messages[r] =
+                lint.counter(row, "cetric_cut_wedge_messages_sent", where);
+            cetric_wedge_bytes[r] =
+                lint.counter(row, "cetric_cut_wedge_bytes_sent", where);
+            lint.counter(row, "cetric_ghost_lists_fetched", where);
+            lint.counter(row, "cetric_ghost_list_entries", where);
           }
           lint.number(row, "comm_cpu_seconds", where);
         }
@@ -786,7 +885,83 @@ std::vector<std::string> lint_metrics(const json::Value& root) {
             lint.flag("comm_matrix: row " + std::to_string(r) +
                       " chaos_bytes sum != per_rank chaos_bytes_sent");
           }
+          // Cetric's defining property: every user-tagged message a rank
+          // sends is a cut-wedge buffer, so the user-only row sums must
+          // reproduce the algorithm's own wedge counters exactly (first
+          // transmits stay user traffic even under chaos — retransmits
+          // and acks live in the chaos columns).
+          if (per_rank_cetric) {
+            double user_messages = 0.0;
+            double user_bytes = 0.0;
+            if (sum_matrix_row(*matrix, "user_messages", r, ranks,
+                               user_messages) &&
+                cetric_wedge_messages[r] >= 0 &&
+                user_messages != cetric_wedge_messages[r]) {
+              lint.flag("comm_matrix: row " + std::to_string(r) +
+                        " user_messages sum != per_rank "
+                        "cetric_cut_wedge_messages_sent");
+            }
+            if (sum_matrix_row(*matrix, "user_bytes", r, ranks, user_bytes) &&
+                cetric_wedge_bytes[r] >= 0 &&
+                user_bytes != cetric_wedge_bytes[r]) {
+              lint.flag("comm_matrix: row " + std::to_string(r) +
+                        " user_bytes sum != per_rank "
+                        "cetric_cut_wedge_bytes_sent");
+            }
+          }
         }
+      }
+    }
+
+    // Cetric cross-checks: the tc.cetric.* registry counters, the
+    // per-rank classification columns, and the run.algorithm tag must
+    // appear together, and the classification must account for every
+    // triangle the run reports.
+    const auto cetric_metric = [&](const char* name) -> double {
+      const auto it = metric_counters.find(name);
+      return it == metric_counters.end() ? -1.0
+                                         : static_cast<double>(it->second);
+    };
+    const bool has_cetric_metrics =
+        metric_counters.find("tc.cetric.local_triangles") !=
+        metric_counters.end();
+    if (algorithm == "cetric") {
+      if (!has_cetric_metrics) {
+        lint.flag("metrics: cetric artifact missing tc.cetric.* counters");
+      }
+      if (!per_rank_cetric && ranks > 0) {
+        lint.flag("per_rank: cetric artifact missing cetric_* counters");
+      }
+      const double local = cetric_metric("tc.cetric.local_triangles");
+      const double cut = cetric_metric("tc.cetric.cut_triangles");
+      if (local >= 0 && cut >= 0 && declared_triangles >= 0 &&
+          local + cut != declared_triangles) {
+        lint.flag("metrics: tc.cetric.local_triangles + cut_triangles != "
+                  "run.triangles");
+      }
+      double local_sum = 0.0;
+      double cut_sum = 0.0;
+      bool rows_complete = per_rank_cetric && ranks > 0;
+      for (std::size_t r = 0; r < ranks; ++r) {
+        if (cetric_local[r] < 0 || cetric_cut[r] < 0) {
+          rows_complete = false;
+          break;
+        }
+        local_sum += cetric_local[r];
+        cut_sum += cetric_cut[r];
+      }
+      if (rows_complete &&
+          ((local >= 0 && local_sum != local) ||
+           (cut >= 0 && cut_sum != cut))) {
+        lint.flag("per_rank: cetric_* classification sums != tc.cetric.* "
+                  "totals");
+      }
+    } else {
+      if (has_cetric_metrics) {
+        lint.flag("metrics: tc.cetric.* counters on a non-cetric artifact");
+      }
+      if (per_rank_cetric) {
+        lint.flag("per_rank: cetric_* counters on a non-cetric artifact");
       }
     }
   } catch (const std::exception& e) {
@@ -976,6 +1151,10 @@ DiffResult diff_metrics(const json::Value& baseline,
 
   diff.exact("run.ranks", base.ranks, cand.ranks);
   diff.exact("run.grid_q", base.grid_q, cand.grid_q);
+  if (base.algorithm != cand.algorithm) {
+    diff.mismatch("run.algorithm",
+                  base.algorithm + " vs " + cand.algorithm);
+  }
   diff.exact("run.vertices", static_cast<double>(base.vertices),
              static_cast<double>(cand.vertices));
   diff.exact("run.edges", static_cast<double>(base.edges),

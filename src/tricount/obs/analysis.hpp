@@ -68,6 +68,9 @@ struct Step {
 struct RunReport {
   int ranks = 0;
   int grid_q = 0;
+  /// run.algorithm — "cetric" for the communication-avoiding counter,
+  /// "summa" reserved. The key is absent in 2D artifacts (defaults "2d").
+  std::string algorithm = "2d";
   std::uint64_t vertices = 0;
   std::uint64_t edges = 0;
   std::uint64_t triangles = 0;

@@ -11,6 +11,7 @@
 #include "tricount/baselines/aop1d.hpp"
 #include "tricount/baselines/push_based1d.hpp"
 #include "tricount/baselines/wedge_counting.hpp"
+#include "tricount/cetric/cetric.hpp"
 #include "tricount/core/driver.hpp"
 #include "tricount/core/per_vertex.hpp"
 #include "tricount/core/summa2d.hpp"
@@ -123,6 +124,18 @@ TEST_P(FuzzConsistency, AllAlgorithmsAgree) {
         << "push p=" << p;
     EXPECT_EQ(baselines::count_triangles_wedge(g, p).triangles(), expected)
         << "wedge p=" << p;
+
+    // Cetric on a random rank count, reusing the random config (its
+    // kernel knob is live; overlap is ignored by design). The
+    // classification invariant rides along for free.
+    const int cp = 1 + static_cast<int>(rng.bounded(8));
+    const core::RunResult cet = cetric::count_triangles_cetric(g, cp, options);
+    EXPECT_EQ(cet.triangles, expected)
+        << "cetric p=" << cp << " " << options.config.describe();
+    const core::CetricRankCounters cet_total = cet.total_cetric();
+    EXPECT_EQ(cet_total.local_triangles + cet_total.cut_triangles,
+              cet.triangles)
+        << "cetric p=" << cp;
 
     // Per-vertex totals stay consistent with the scalar count.
     EXPECT_EQ(core::count_per_vertex_2d(g, grid, options).total_triangles,

@@ -2,7 +2,7 @@
 #
 # Inputs (all -D):
 #   MODE       check | selfdiff | perturb | chaosoff | overlapoff |
-#              flightoff | msgtraceoff | msgtracesmoke
+#              flightoff | msgtraceoff | msgtracesmoke | cetric
 #   DATASET    rmat_s8 | ws_n512 (deterministic generator configs)
 #   RANKS      simulated rank count
 #   CLI        path to tricount_cli
@@ -40,10 +40,18 @@
 #             with `tricount_trace_lint --msgtrace`, and render the
 #             causal section via `tricount_perf report --msgtrace` —
 #             all must exit 0.
+#   cetric    run the communication-avoiding counter (--algorithm cetric),
+#             lint the fresh artifact and the checked-in cetric baseline
+#             (cetric_<dataset>_r<ranks>.json), diff them, then run the 2D
+#             algorithm on the same graph and require — via `tricount_perf
+#             report --compare --require-less-comm` — that cetric moved
+#             strictly fewer user bytes (docs/cetric.md).
 #
 # Baseline refresh (after an intentional perf-affecting change):
 #   regenerate each artifact with the commands below and copy it over
-#   results/baselines/<dataset>_r<ranks>.json — see docs/observability.md.
+#   results/baselines/<dataset>_r<ranks>.json (cetric baselines:
+#   results/baselines/cetric_<dataset>_r<ranks>.json) — see
+#   docs/observability.md.
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 set(GRAPH ${WORK_DIR}/${DATASET}.mtx)
@@ -199,6 +207,40 @@ elseif(MODE STREQUAL "msgtracesmoke")
     RESULT_VARIABLE status)
   if(NOT status EQUAL 0)
     message(FATAL_ERROR "perf_gate: causal report failed (${status})")
+  endif()
+elseif(MODE STREQUAL "cetric")
+  set(CETRIC_BASELINE ${BASELINES}/cetric_${DATASET}_r${RANKS}.json)
+  if(NOT EXISTS ${CETRIC_BASELINE})
+    message(FATAL_ERROR "perf_gate: missing baseline ${CETRIC_BASELINE}")
+  endif()
+  set(CETRIC_FRESH ${WORK_DIR}/cetric_${DATASET}_r${RANKS}_fresh.json)
+  run_count(${CETRIC_FRESH} --algorithm cetric)
+  execute_process(
+    COMMAND ${LINT} --metrics ${CETRIC_BASELINE} ${CETRIC_FRESH}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "perf_gate: cetric metrics lint failed (${status})")
+  endif()
+  execute_process(
+    COMMAND ${PERF} diff ${CETRIC_BASELINE} ${CETRIC_FRESH}
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: fresh cetric run regresses against "
+            "${CETRIC_BASELINE} (${status})")
+  endif()
+  # The paper-level claim: on the same graph and rank count, cetric must
+  # move strictly fewer point-to-point bytes than the 2D algorithm.
+  set(FRESH_2D ${WORK_DIR}/${DATASET}_r${RANKS}_2d.json)
+  run_count(${FRESH_2D})
+  execute_process(
+    COMMAND ${PERF} report ${CETRIC_FRESH} --compare ${FRESH_2D}
+            --require-less-comm
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+            "perf_gate: cetric did not move strictly fewer user bytes than "
+            "2d on ${DATASET} r${RANKS} (${status})")
   endif()
 elseif(MODE STREQUAL "perturb")
   if(NOT EXISTS ${BASELINE})

@@ -3,7 +3,8 @@
 // Subcommands:
 //   generate   create a graph file (rmat / er / ws / twitter / friendster)
 //   stats      structural statistics of a graph file
-//   count      distributed triangle counting (2d / summa / aop / push / wedge)
+//   count      distributed triangle counting (2d / cetric / summa / aop /
+//              push / wedge)
 //   pervertex  distributed per-vertex counts and clustering coefficients
 //   truss      k-truss decomposition summary
 //   convert    convert between edge-list / MatrixMarket / binary formats
@@ -32,6 +33,7 @@
 #include "tricount/baselines/aop1d.hpp"
 #include "tricount/baselines/push_based1d.hpp"
 #include "tricount/baselines/wedge_counting.hpp"
+#include "tricount/cetric/cetric.hpp"
 #include "tricount/chaos/options.hpp"
 #include "tricount/core/artifacts.hpp"
 #include "tricount/core/driver.hpp"
@@ -332,7 +334,9 @@ int cmd_count(int argc, const char* const* argv) {
                        "Distributed triangle counting.");
   args.add_option("file", "", "input graph (.txt / .mtx / .bin)");
   args.add_option("ranks", "16", "simulated ranks (perfect square for 2d)");
-  args.add_option("algorithm", "2d", "2d | summa | aop | push | wedge");
+  args.add_option("algorithm", "2d",
+                  "2d | cetric | summa | aop | push | wedge");
+  args.add_option("algo", "", "alias for --algorithm");
   args.add_option("grid-rows", "0", "summa grid rows (0 = auto)");
   args.add_option("grid-cols", "0", "summa grid cols (0 = auto)");
   args.add_option("enumeration", "jik", "jik | ijk");
@@ -350,16 +354,16 @@ int cmd_count(int argc, const char* const* argv) {
                 "overlap block shifts / panel broadcasts with intersections "
                 "(2d and summa; docs/overlap.md)");
   args.add_option("trace-out", "",
-                  "write a Chrome trace-event JSON timeline (2d only)");
+                  "write a Chrome trace-event JSON timeline (2d/cetric)");
   args.add_option("metrics-out", "",
-                  "write the metrics JSON artifact (2d only)");
+                  "write the metrics JSON artifact (2d/cetric)");
   args.add_flag("comm-matrix", false,
-                "print the p x p traffic heatmap (2d only)");
+                "print the p x p traffic heatmap (2d/cetric)");
   args.add_option("model", "",
                   "alpha,beta cost-model override, e.g. 1.5e-6,2.9e-10 "
                   "(2d only)");
   args.add_flag("analyze", false,
-                "print the perf-doctor bottleneck report (2d only)");
+                "print the perf-doctor bottleneck report (2d/cetric)");
   args.add_flag("checkpoint", false,
                 "checkpoint counting supersteps even without a scheduled "
                 "crash (docs/chaos.md)");
@@ -384,7 +388,7 @@ int cmd_count(int argc, const char* const* argv) {
                   "telemetry publish interval in milliseconds");
   args.add_flag("msgtrace", false,
                 "capture causal message traces and write the "
-                "tricount.msgtrace.v1 artifact (2d only; "
+                "tricount.msgtrace.v1 artifact (2d/cetric; "
                 "docs/observability.md)");
   args.add_option("msgtrace-out", "msgtrace.json",
                   "path for the msgtrace artifact (with --msgtrace)");
@@ -395,7 +399,9 @@ int cmd_count(int argc, const char* const* argv) {
 
   const graph::EdgeList g = graph::simplify(load(args.get("file")));
   const int ranks = static_cast<int>(args.get_int("ranks"));
-  const std::string algorithm = args.get("algorithm");
+  const std::string algorithm = args.get("algo").empty()
+                                    ? args.get("algorithm")
+                                    : args.get("algo");
 
   core::Config config;
   config.enumeration = args.get("enumeration") == "ijk"
@@ -424,7 +430,9 @@ int cmd_count(int argc, const char* const* argv) {
   config.checkpoint = args.get_bool("checkpoint");
   const double watchdog = args.get_double("watchdog");
 
-  if (algorithm == "2d") {
+  if (algorithm == "2d" || algorithm == "cetric") {
+    // Both counters return a full core::RunResult, so the entire artifact
+    // pipeline (trace, metrics, msgtrace, heatmap, analyzer) is shared.
     core::RunOptions options;
     options.config = config;
     options.chaos = chaos::plan_from_args(args, ranks);
@@ -440,7 +448,18 @@ int cmd_count(int argc, const char* const* argv) {
     }
     FlightSession flight_session(args, ranks);
     MsgTraceSession msgtrace_session(args, ranks);
-    const auto result = core::count_triangles_2d(g, ranks, options);
+    const auto result =
+        algorithm == "cetric"
+            ? cetric::count_triangles_cetric(g, ranks, options)
+            : core::count_triangles_2d(g, ranks, options);
+    if (algorithm == "cetric") {
+      const core::CetricRankCounters cet = result.total_cetric();
+      std::printf("cetric: %llu local + %llu cut triangles, %llu cut "
+                  "wedges sent\n",
+                  static_cast<unsigned long long>(cet.local_triangles),
+                  static_cast<unsigned long long>(cet.cut_triangles),
+                  static_cast<unsigned long long>(cet.cut_wedges_sent));
+    }
     std::printf("triangles: %llu\n",
                 static_cast<unsigned long long>(result.triangles));
     std::printf("modeled ppt/tct/overall: %.4f / %.4f / %.4f s\n",

@@ -2,16 +2,23 @@
 //
 // Usage:
 //   tricount_perf report <metrics.json> [--top N] [--flight-dir DIR]
-//                        [--msgtrace TRACE]
+//                        [--msgtrace TRACE] [--compare OTHER.json]
+//                        [--require-less-comm]
 //       Human-readable bottleneck report: dominant phase, comm fractions,
 //       load imbalance, top straggler ranks, per-superstep critical path,
-//       chaos fault tallies (when the artifact came from a chaos run),
-//       and the α–β consistency check. With --flight-dir, also a section
-//       correlating the directory's tricount.flight.v1 dumps (dump
-//       reason, last recorded superstep, crash markers) with the run.
-//       With --msgtrace, also the causal section from the given
-//       tricount.msgtrace.v1 artifact: measured critical path, wait
-//       states, and measured-vs-modeled overlap.
+//       cetric local-vs-cut classification (when the artifact came from
+//       the communication-avoiding counter), chaos fault tallies (when
+//       the artifact came from a chaos run), and the α–β consistency
+//       check. With --flight-dir, also a section correlating the
+//       directory's tricount.flight.v1 dumps (dump reason, last recorded
+//       superstep, crash markers) with the run. With --msgtrace, also
+//       the causal section from the given tricount.msgtrace.v1 artifact:
+//       measured critical path, wait states, and measured-vs-modeled
+//       overlap. With --compare, also a communication-volume table
+//       against a second artifact of the same graph (e.g. cetric vs 2d);
+//       --require-less-comm turns that table into a gate — exit 1 unless
+//       the primary artifact moved strictly fewer user bytes than the
+//       comparison target.
 //       Exit 1 when the consistency check fails, 0 otherwise.
 //
 //   tricount_perf diff <baseline.json> <candidate.json>
@@ -58,6 +65,7 @@ int usage() {
       stderr,
       "usage: tricount_perf report <metrics.json> [--top N] "
       "[--flight-dir DIR] [--msgtrace TRACE]\n"
+      "                     [--compare OTHER.json] [--require-less-comm]\n"
       "       tricount_perf diff <baseline.json> <candidate.json>\n"
       "                     [--max-regress PCT] [--noise-floor SECONDS]\n"
       "       tricount_perf watch [--file PATH] [--once] [--jsonl]\n"
@@ -171,10 +179,89 @@ int print_causal_section(const std::string& path, int top) {
   return 0;
 }
 
+/// The `report --compare` section: communication-volume comparison of two
+/// metrics artifacts over the same graph (the headline cetric-vs-2D
+/// table). Returns 2 on unreadable input, 1 when `require_less_comm` is
+/// set and the primary artifact did not move strictly fewer user bytes,
+/// 0 otherwise.
+int print_compare_section(const analysis::RunReport& primary,
+                          const std::string& primary_path,
+                          const std::string& compare_path,
+                          bool require_less_comm) {
+  analysis::RunReport other;
+  try {
+    other = analysis::RunReport::from_metrics_json(
+        obs::json::read_file(compare_path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tricount_perf: %s: %s\n", compare_path.c_str(),
+                 e.what());
+    return 2;
+  }
+  if (primary.vertices != other.vertices || primary.edges != other.edges ||
+      primary.triangles != other.triangles) {
+    std::fprintf(stderr,
+                 "tricount_perf: --compare artifacts describe different "
+                 "graphs (%llu/%llu/%llu vs %llu/%llu/%llu "
+                 "vertices/edges/triangles)\n",
+                 static_cast<unsigned long long>(primary.vertices),
+                 static_cast<unsigned long long>(primary.edges),
+                 static_cast<unsigned long long>(primary.triangles),
+                 static_cast<unsigned long long>(other.vertices),
+                 static_cast<unsigned long long>(other.edges),
+                 static_cast<unsigned long long>(other.triangles));
+    return 2;
+  }
+
+  const auto counter = [](const analysis::RunReport& r, const char* name) {
+    const auto it = r.metrics.counters.find(name);
+    return it == r.metrics.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  util::print_heading("comm volume vs " + compare_path);
+  util::Table table({"artifact", "algorithm", "ranks", "user msgs",
+                     "user bytes", "collective bytes", "total bytes"});
+  const auto row = [&](const analysis::RunReport& r, const std::string& path) {
+    table.row()
+        .cell(path)
+        .cell(r.algorithm)
+        .cell(static_cast<std::int64_t>(r.ranks))
+        .cell(counter(r, "comm.user_messages_sent"))
+        .cell(counter(r, "comm.user_bytes_sent"))
+        .cell(counter(r, "comm.collective_bytes_sent"))
+        .cell(counter(r, "comm.bytes_sent"));
+  };
+  row(primary, primary_path);
+  row(other, compare_path);
+  table.print();
+  const std::uint64_t primary_user = counter(primary, "comm.user_bytes_sent");
+  const std::uint64_t other_user = counter(other, "comm.user_bytes_sent");
+  if (other_user > 0) {
+    std::printf("user-byte ratio: %.3f (%s moves %.1f%% of %s's "
+                "point-to-point volume)\n",
+                static_cast<double>(primary_user) /
+                    static_cast<double>(other_user),
+                primary.algorithm.c_str(),
+                100.0 * static_cast<double>(primary_user) /
+                    static_cast<double>(other_user),
+                other.algorithm.c_str());
+  }
+  if (require_less_comm && primary_user >= other_user) {
+    std::printf("GATE: %s user bytes (%llu) not strictly below %s's "
+                "(%llu)\n",
+                primary.algorithm.c_str(),
+                static_cast<unsigned long long>(primary_user),
+                other.algorithm.c_str(),
+                static_cast<unsigned long long>(other_user));
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_report(const std::vector<std::string>& args) {
   std::string path;
   std::string flight_dir;
   std::string msgtrace_path;
+  std::string compare_path;
+  bool require_less_comm = false;
   int top = 5;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--top" && i + 1 < args.size()) {
@@ -183,6 +270,10 @@ int cmd_report(const std::vector<std::string>& args) {
       flight_dir = args[++i];
     } else if (args[i] == "--msgtrace" && i + 1 < args.size()) {
       msgtrace_path = args[++i];
+    } else if (args[i] == "--compare" && i + 1 < args.size()) {
+      compare_path = args[++i];
+    } else if (args[i] == "--require-less-comm") {
+      require_less_comm = true;
     } else if (path.empty() && args[i][0] != '-') {
       path = args[i];
     } else {
@@ -190,6 +281,7 @@ int cmd_report(const std::vector<std::string>& args) {
     }
   }
   if (path.empty()) return usage();
+  if (require_less_comm && compare_path.empty()) return usage();
 
   analysis::RunReport report;
   try {
@@ -206,6 +298,11 @@ int cmd_report(const std::vector<std::string>& args) {
   }
   if (!msgtrace_path.empty()) {
     const int rc = print_causal_section(msgtrace_path, top);
+    if (rc != 0) return rc;
+  }
+  if (!compare_path.empty()) {
+    const int rc =
+        print_compare_section(report, path, compare_path, require_less_comm);
     if (rc != 0) return rc;
   }
   return result.consistency_issues.empty() ? 0 : 1;
