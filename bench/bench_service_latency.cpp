@@ -1,0 +1,240 @@
+// Service latency bench: drives a mixed query workload through an
+// in-process resident Service and reports request-latency quantiles
+// (p50/p95/p99, via the metrics histogram the service already keeps)
+// plus the cold-vs-warm comparison behind the daemon's reason to exist:
+//
+//   cold  — a full pipeline run per query (fresh world, preprocess,
+//           count), or a `tricount_cli count` subprocess when --cli
+//           points at the binary (true end-to-end, process start and
+//           graph I/O included);
+//   warm  — a served count on the resident partition, cache MISS, so
+//           the counting supersteps run but preprocessing is amortized;
+//   hit   — a served count answered from the result cache, no
+//           counting superstep at all.
+//
+// Writes BENCH_service.json (tricount.bench.v1) with --json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tricount/core/driver.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/io.hpp"
+#include "tricount/obs/build_info.hpp"
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/metrics.hpp"
+#include "tricount/service/service.hpp"
+#include "tricount/util/argparse.hpp"
+#include "tricount/util/table.hpp"
+#include "tricount/util/time.hpp"
+
+namespace {
+
+using namespace tricount;
+
+struct Sink {
+  std::vector<std::string> lines;
+  void operator()(const std::string& line) { lines.push_back(line); }
+};
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e18;
+  for (int i = 0; i < std::max(1, reps); ++i) {
+    const double start = util::wall_seconds();
+    fn();
+    best = std::min(best, util::wall_seconds() - start);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_service_latency",
+                       "Resident-service latency quantiles and the "
+                       "cold-vs-warm speedup (docs/service.md).");
+  args.add_option("scale", "8", "RMAT scale of the resident graph");
+  args.add_option("edge-factor", "8", "RMAT edge factor");
+  args.add_option("seed", "1", "RMAT seed");
+  args.add_option("ranks", "4", "world size (perfect square)");
+  args.add_option("requests", "48",
+                  "mixed-workload requests driven through the service");
+  args.add_option("reps", "3", "repetitions per timed sample (best-of)");
+  args.add_option("cli", "",
+                  "path to tricount_cli for a true end-to-end cold side "
+                  "('' = in-process full-pipeline cold runs)");
+  args.add_option("json", "",
+                  "write BENCH_service.json into this directory");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
+
+  graph::RmatParams params;
+  params.scale = static_cast<int>(args.get_int("scale"));
+  params.edge_factor = args.get_double("edge-factor");
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const graph::EdgeList graph = graph::rmat(params);
+  const int ranks = static_cast<int>(args.get_int("ranks"));
+  const int reps = static_cast<int>(args.get_int("reps"));
+  const std::string dataset = "rmat_s" + std::to_string(params.scale);
+
+  std::printf("=== service latency: %s, %d ranks ===\n", dataset.c_str(),
+              ranks);
+
+  // --- mixed workload through a cache-enabled service -------------------
+  service::ServiceOptions options;
+  options.ranks = ranks;
+  options.manual_dispatch = true;
+  Sink sink;
+  service::Service svc(options, std::ref(sink));
+  svc.load_graph(graph, dataset);
+
+  const int requests = static_cast<int>(args.get_int("requests"));
+  const char* kKernels[] = {"auto", "merge", "galloping", "bitmap", "hash"};
+  std::uint64_t id = 0;
+  for (int i = 0; i < requests; ++i) {
+    std::string line;
+    switch (i % 6) {
+      case 0:
+      case 1:  // repeats: cache hits after the first round
+        line = "{\"id\":" + std::to_string(++id) +
+               ",\"verb\":\"count\",\"params\":{\"algo\":\"2d\",\"kernel\":\"" +
+               kKernels[(i / 6) % 5] + "\"}}";
+        break;
+      case 2:
+        line = "{\"id\":" + std::to_string(++id) +
+               ",\"verb\":\"count\",\"params\":{\"algo\":\"cetric\"}}";
+        break;
+      case 3:
+        line = "{\"id\":" + std::to_string(++id) +
+               ",\"verb\":\"pervertex\",\"params\":{\"top\":10}}";
+        break;
+      case 4:
+        line = "{\"id\":" + std::to_string(++id) + ",\"verb\":\"clustering\"}";
+        break;
+      default:
+        line = "{\"id\":" + std::to_string(++id) +
+               ",\"verb\":\"approx\",\"params\":{\"retention\":0.5,\"seed\":" +
+               std::to_string(7 + i) + "}}";
+        break;
+    }
+    svc.submit(line);
+    svc.drain();
+  }
+
+  // The request-latency quantiles, straight from the histogram the
+  // service keeps (Snapshot::HistogramValue::quantile).
+  const obs::json::Value artifact = svc.session_artifact();
+  const obs::Snapshot snapshot =
+      obs::Snapshot::from_json(artifact.get("metrics"));
+  const auto& latency = snapshot.histograms.at("service.request_latency_us");
+  const double p50 = latency.quantile(0.50);
+  const double p95 = latency.quantile(0.95);
+  const double p99 = latency.quantile(0.99);
+  const auto cache = svc.cache_stats();
+
+  // --- cold / warm / hit samples ----------------------------------------
+  // Warm misses: a cache-off service, so every count runs the supersteps.
+  service::ServiceOptions miss_options;
+  miss_options.ranks = ranks;
+  miss_options.cache_capacity = 0;
+  miss_options.manual_dispatch = true;
+  Sink miss_sink;
+  service::Service miss_svc(miss_options, std::ref(miss_sink));
+  miss_svc.load_graph(graph, dataset);
+  std::uint64_t miss_id = 0;
+  const double warm_miss_seconds = best_of(reps * 2, [&] {
+    miss_svc.submit("{\"id\":" + std::to_string(++miss_id) +
+                    ",\"verb\":\"count\",\"params\":{\"algo\":\"2d\"}}");
+    miss_svc.drain();
+  });
+
+  // Cache hits: the first ask seeds the cache, the timed ones hit it.
+  svc.submit("{\"id\":" + std::to_string(++id) +
+             ",\"verb\":\"count\",\"params\":{\"algo\":\"2d\"}}");
+  svc.drain();
+  const double hit_seconds = best_of(reps * 2, [&] {
+    svc.submit("{\"id\":" + std::to_string(++id) +
+               ",\"verb\":\"count\",\"params\":{\"algo\":\"2d\"}}");
+    svc.drain();
+  });
+
+  // Cold: per-query full pipeline, optionally the real CLI end-to-end.
+  const std::string cli = args.get("cli");
+  std::string cold_mode = "in_process_pipeline";
+  double cold_seconds = 0.0;
+  if (cli.empty()) {
+    cold_seconds = best_of(reps, [&] {
+      (void)core::count_triangles_2d(graph, ranks);
+    });
+  } else {
+    cold_mode = "cli_end_to_end";
+    const std::string graph_path = "bench_service_cold.mtx";
+    graph::write_matrix_market(graph, graph_path);
+    const std::string command =
+        cli + " count --file " + graph_path + " --ranks " +
+        std::to_string(ranks) + " >/dev/null 2>&1";
+    cold_seconds = best_of(reps, [&] {
+      if (std::system(command.c_str()) != 0) {
+        std::fprintf(stderr, "cold CLI run failed: %s\n", command.c_str());
+        std::exit(1);
+      }
+    });
+  }
+
+  const double warm_speedup =
+      warm_miss_seconds > 0.0 ? cold_seconds / warm_miss_seconds : 0.0;
+  const double hit_speedup =
+      hit_seconds > 0.0 ? cold_seconds / hit_seconds : 0.0;
+
+  util::Table table({"metric", "value"});
+  table.row().cell("requests").cell(static_cast<std::uint64_t>(requests));
+  table.row().cell("latency p50 (us)").cell(p50, 1);
+  table.row().cell("latency p95 (us)").cell(p95, 1);
+  table.row().cell("latency p99 (us)").cell(p99, 1);
+  table.row().cell("cache hits").cell(cache.hits);
+  table.row().cell("cache misses").cell(cache.misses);
+  table.row().cell("cold (s, " + cold_mode + ")").cell(cold_seconds, 6);
+  table.row().cell("warm miss (s)").cell(warm_miss_seconds, 6);
+  table.row().cell("cache hit (s)").cell(hit_seconds, 6);
+  table.row().cell("warm speedup (x)").cell(warm_speedup, 1);
+  table.row().cell("hit speedup (x)").cell(hit_speedup, 1);
+  std::fputs(table.str().c_str(), stdout);
+
+  const std::string json_dir = args.get("json");
+  if (!json_dir.empty()) {
+    obs::json::Value record = obs::json::Value::object();
+    record.set("dataset", dataset);
+    record.set("ranks", ranks);
+    record.set("requests", static_cast<std::uint64_t>(requests));
+    obs::json::Value quantiles = obs::json::Value::object();
+    quantiles.set("p50_us", p50);
+    quantiles.set("p95_us", p95);
+    quantiles.set("p99_us", p99);
+    quantiles.set("max_us", latency.max);
+    record.set("latency", std::move(quantiles));
+    obs::json::Value cache_json = obs::json::Value::object();
+    cache_json.set("hits", cache.hits);
+    cache_json.set("misses", cache.misses);
+    cache_json.set("evictions", cache.evictions);
+    record.set("cache", std::move(cache_json));
+    record.set("cold_mode", cold_mode);
+    record.set("cold_seconds", cold_seconds);
+    record.set("warm_miss_seconds", warm_miss_seconds);
+    record.set("cache_hit_seconds", hit_seconds);
+    record.set("warm_speedup", warm_speedup);
+    record.set("cache_hit_speedup", hit_speedup);
+
+    obs::json::Value root = obs::json::Value::object();
+    root.set("schema", "tricount.bench.v1");
+    root.set("bench", "service");
+    root.set("build", obs::build_info_json());
+    obs::json::Value records = obs::json::Value::array();
+    records.push_back(std::move(record));
+    root.set("records", std::move(records));
+    const std::string path = json_dir + "/BENCH_service.json";
+    obs::json::write_file(root, path);
+    std::printf("[json] wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -387,4 +387,143 @@ std::vector<PerfCounters> run_world(int size, const RankFn& fn,
   return run_world_report(size, fn, options).counters;
 }
 
+// ---------------------------------------------------------------------------
+// PersistentWorld
+
+PersistentWorld::PersistentWorld(int size, const WorldOptions& options)
+    : size_(size) {
+  if (options.fault_injector != nullptr) {
+    throw std::invalid_argument(
+        "mpisim: PersistentWorld does not support fault injection "
+        "(Mailbox::fail is permanent, so one chaos crash would poison "
+        "every later job)");
+  }
+  world_ = std::make_unique<World>(size, options);
+  if (size_ > 1) {
+    threads_.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      threads_.emplace_back(&PersistentWorld::worker, this, r);
+    }
+  }
+}
+
+PersistentWorld::~PersistentWorld() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void PersistentWorld::worker(int rank) {
+  // The thread is a rank for its whole lifetime: tag it once so log
+  // lines and trace events from every job carry the rank.
+  util::set_current_rank(rank);
+  std::uint64_t seen = 0;
+  while (true) {
+    const RankFn* fn = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      job_cv_.wait(lock, [&] { return stop_ || generation_ > seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;
+    }
+    Comm comm(*world_, rank);
+    try {
+      (*fn)(comm);
+      comm.flush_sends();
+    } catch (...) {
+      {
+        std::scoped_lock lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      world_->fail_all();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+WorldReport PersistentWorld::job_delta(
+    const std::vector<PerfCounters>& counters_before,
+    const CommMatrix& matrix_before) const {
+  WorldReport report;
+  report.counters.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    report.counters.push_back(world_->counters(r) -
+                              counters_before[static_cast<std::size_t>(r)]);
+  }
+  report.comm_matrix = CommMatrix(size_);
+  // The matrix accumulates across jobs; per-job cells are the increment
+  // since the last snapshot. Chaos is unsupported, so only the user and
+  // collective columns can have moved — copy all fields for symmetry.
+  for (int s = 0; s < size_; ++s) {
+    for (int d = 0; d < size_; ++d) {
+      const CommCell& now = world_->comm_matrix().at(s, d);
+      const CommCell& base = matrix_before.at(s, d);
+      CommCell& cell = report.comm_matrix.at(s, d);
+      cell.user_messages = now.user_messages - base.user_messages;
+      cell.user_bytes = now.user_bytes - base.user_bytes;
+      cell.collective_messages =
+          now.collective_messages - base.collective_messages;
+      cell.collective_bytes = now.collective_bytes - base.collective_bytes;
+      cell.chaos_messages = now.chaos_messages - base.chaos_messages;
+      cell.chaos_bytes = now.chaos_bytes - base.chaos_bytes;
+    }
+  }
+  report.chaos = world_->all_chaos_counters();  // all zero: no injector
+  return report;
+}
+
+WorldReport PersistentWorld::run_job(const RankFn& fn) {
+  if (poisoned_) {
+    throw std::runtime_error(
+        "mpisim: persistent world poisoned by an earlier job failure; "
+        "rebuild the world before running more jobs");
+  }
+  const std::vector<PerfCounters> before = world_->all_counters();
+  const CommMatrix matrix_before = world_->comm_matrix();
+
+  if (size_ == 1) {
+    // Inline, like run_world's single-rank path; restore the caller's tag.
+    const int previous_rank = util::current_rank();
+    util::set_current_rank(0);
+    Comm comm(*world_, 0);
+    try {
+      fn(comm);
+      comm.flush_sends();
+    } catch (...) {
+      util::set_current_rank(previous_rank);
+      poisoned_ = true;
+      world_->fail_all();
+      throw;
+    }
+    util::set_current_rank(previous_rank);
+  } else {
+    {
+      std::scoped_lock lock(mutex_);
+      job_ = &fn;
+      running_ = size_;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    if (first_error_) {
+      poisoned_ = true;
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  ++jobs_run_;
+  return job_delta(before, matrix_before);
+}
+
 }  // namespace tricount::mpisim

@@ -15,9 +15,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "tricount/mpisim/comm.hpp"
@@ -105,5 +109,62 @@ std::vector<PerfCounters> run_world(int size, const RankFn& fn,
 /// tallies.
 WorldReport run_world_report(int size, const RankFn& fn,
                              const WorldOptions& options = {});
+
+/// A world whose rank threads stay alive across many SPMD jobs — the
+/// long-lived service daemon's runtime (docs/service.md). run_world pays
+/// thread spawn + join per call; a resident service answering sub-
+/// millisecond queries cannot. PersistentWorld parks each rank thread on
+/// a condition variable between jobs and reuses the same mailboxes, so a
+/// job costs one wakeup instead of p thread creations.
+///
+/// Differences from run_world:
+///  * run_job returns only the *delta* the job produced (counters and
+///    comm matrix), so per-request artifacts attribute traffic to the
+///    request that caused it, not to the world's lifetime.
+///  * Fault injection is unsupported: Mailbox::fail() is permanent, so a
+///    chaos crash would poison every later job. The constructor throws if
+///    a fault injector is configured.
+///  * If any rank throws, the world is failed exactly like run_world —
+///    and then *stays* failed: the world is poisoned, run_job refuses
+///    further jobs, and the owner must rebuild the world.
+///
+/// Single-rank worlds run jobs inline on the caller's thread.
+class PersistentWorld {
+ public:
+  explicit PersistentWorld(int size, const WorldOptions& options = {});
+  ~PersistentWorld();
+
+  PersistentWorld(const PersistentWorld&) = delete;
+  PersistentWorld& operator=(const PersistentWorld&) = delete;
+
+  int size() const { return size_; }
+  /// True after a job failed; every later run_job throws immediately.
+  bool poisoned() const { return poisoned_; }
+  /// Jobs completed successfully since construction.
+  std::uint64_t jobs_run() const { return jobs_run_; }
+
+  /// Runs `fn` as one SPMD job on the resident rank threads, blocks until
+  /// every rank returns, and reports only this job's traffic.
+  WorldReport run_job(const RankFn& fn);
+
+ private:
+  void worker(int rank);
+  WorldReport job_delta(const std::vector<PerfCounters>& counters_before,
+                        const CommMatrix& matrix_before) const;
+
+  int size_;
+  std::unique_ptr<World> world_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers wait here between jobs
+  std::condition_variable done_cv_;  // run_job waits here for completion
+  const RankFn* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
+  bool poisoned_ = false;
+  std::uint64_t jobs_run_ = 0;
+  std::exception_ptr first_error_;
+};
 
 }  // namespace tricount::mpisim

@@ -196,9 +196,15 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Value parse_document() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      throw ParseError(ParseError::Kind::kTooLarge, 0,
+                       "document exceeds " +
+                           std::to_string(limits_.max_bytes) + " bytes");
+    }
     Value v = parse_value();
     skip_ws();
     if (at_ != text_.size()) fail("trailing characters");
@@ -207,9 +213,34 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json parse error at offset " +
-                             std::to_string(at_) + ": " + what);
+    throw ParseError(ParseError::Kind::kMalformed, at_, what);
   }
+
+  /// End-of-input mid-document: distinct from malformed so socket readers
+  /// can tell "garbage" from "incomplete".
+  [[noreturn]] void fail_truncated(const std::string& what) const {
+    throw ParseError(ParseError::Kind::kTruncated, at_, what);
+  }
+
+  /// RAII depth guard around every array/object recursion.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (parser_.limits_.max_depth > 0 &&
+          parser_.depth_ >= parser_.limits_.max_depth) {
+        throw ParseError(ParseError::Kind::kTooDeep, parser_.at_,
+                         "nesting exceeds depth " +
+                             std::to_string(parser_.limits_.max_depth));
+      }
+      ++parser_.depth_;
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
 
   void skip_ws() {
     while (at_ < text_.size() &&
@@ -221,7 +252,7 @@ class Parser {
 
   char peek() {
     skip_ws();
-    if (at_ >= text_.size()) fail("unexpected end of input");
+    if (at_ >= text_.size()) fail_truncated("unexpected end of input");
     return text_[at_];
   }
 
@@ -259,14 +290,14 @@ class Parser {
     expect('"');
     std::string out;
     while (true) {
-      if (at_ >= text_.size()) fail("unterminated string");
+      if (at_ >= text_.size()) fail_truncated("unterminated string");
       const char c = text_[at_++];
       if (c == '"') break;
       if (c != '\\') {
         out += c;
         continue;
       }
-      if (at_ >= text_.size()) fail("unterminated escape");
+      if (at_ >= text_.size()) fail_truncated("unterminated escape");
       const char e = text_[at_++];
       switch (e) {
         case '"': out += '"'; break;
@@ -278,7 +309,7 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (at_ + 4 > text_.size()) fail("short \\u escape");
+          if (at_ + 4 > text_.size()) fail_truncated("short \\u escape");
           unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             const char h = text_[at_++];
@@ -331,6 +362,7 @@ class Parser {
 
   Value parse_array() {
     expect('[');
+    DepthGuard guard(*this);
     Value out = Value::array();
     if (peek() == ']') {
       ++at_;
@@ -347,6 +379,7 @@ class Parser {
 
   Value parse_object() {
     expect('{');
+    DepthGuard guard(*this);
     Value out = Value::object();
     if (peek() == '}') {
       ++at_;
@@ -365,13 +398,19 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   std::size_t at_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
 Value Value::parse(std::string_view text) {
-  return Parser(text).parse_document();
+  return Parser(text, ParseLimits{}).parse_document();
+}
+
+Value Value::parse(std::string_view text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
 }
 
 void write_file(const Value& value, const std::string& path) {

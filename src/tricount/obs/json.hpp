@@ -7,12 +7,44 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace tricount::obs::json {
+
+/// Resource limits for parsing untrusted input (e.g. bytes read off the
+/// service socket, docs/service.md). Zero means unlimited — the default,
+/// so trusted artifact reads are unchanged.
+struct ParseLimits {
+  std::size_t max_bytes = 0;  ///< reject documents longer than this
+  std::size_t max_depth = 0;  ///< reject nesting deeper than this
+};
+
+/// Typed parse failure. `kind()` distinguishes the classes a caller wants
+/// to map to distinct error codes: malformed syntax, truncated input,
+/// over-length input, and over-deep nesting. `offset()` is the byte the
+/// parser stopped at. what() keeps the historical
+/// "json parse error at offset N: ..." message format.
+class ParseError : public std::runtime_error {
+ public:
+  enum class Kind { kMalformed, kTruncated, kTooLarge, kTooDeep };
+
+  ParseError(Kind kind, std::size_t offset, const std::string& what_arg)
+      : std::runtime_error("json parse error at offset " +
+                           std::to_string(offset) + ": " + what_arg),
+        kind_(kind),
+        offset_(offset) {}
+
+  Kind kind() const { return kind_; }
+  std::size_t offset() const { return offset_; }
+
+ private:
+  Kind kind_;
+  std::size_t offset_;
+};
 
 class Value {
  public:
@@ -61,9 +93,13 @@ class Value {
   /// `indent` spaces per level.
   std::string dump(int indent = -1) const;
 
-  /// Parses a complete JSON document; throws std::runtime_error with the
-  /// byte offset on malformed input.
+  /// Parses a complete JSON document; throws ParseError (a
+  /// std::runtime_error) with the byte offset on malformed input.
   static Value parse(std::string_view text);
+
+  /// Parses untrusted input under resource limits; throws ParseError with
+  /// kind kTooLarge / kTooDeep when a limit is exceeded.
+  static Value parse(std::string_view text, const ParseLimits& limits);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

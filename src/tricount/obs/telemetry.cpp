@@ -96,6 +96,31 @@ json::Value Telemetry::snapshot_json() const {
   totals.set("lookups", total_lookups);
   totals.set("mem_bytes", total_mem);
   root.set("totals", std::move(totals));
+
+  // Daemon health, present only while a service is registered so batch
+  // runs keep emitting byte-identical snapshots.
+  if (const ServiceTelemetry* svc = service_.load()) {
+    const std::uint64_t hits = svc->cache_hits.load(std::memory_order_relaxed);
+    const std::uint64_t misses =
+        svc->cache_misses.load(std::memory_order_relaxed);
+    json::Value service = json::Value::object();
+    service.set("queue_depth", svc->queue_depth.load(std::memory_order_relaxed));
+    service.set("queue_capacity",
+                svc->queue_capacity.load(std::memory_order_relaxed));
+    service.set("in_flight", svc->in_flight.load(std::memory_order_relaxed));
+    service.set("requests", svc->requests.load(std::memory_order_relaxed));
+    service.set("shed", svc->shed.load(std::memory_order_relaxed));
+    service.set("cache_hits", hits);
+    service.set("cache_misses", misses);
+    service.set("cache_hit_rate",
+                hits + misses > 0
+                    ? static_cast<double>(hits) /
+                          static_cast<double>(hits + misses)
+                    : 0.0);
+    service.set("graph_version",
+                svc->graph_version.load(std::memory_order_relaxed));
+    root.set("service", std::move(service));
+  }
   return root;
 }
 
@@ -168,6 +193,24 @@ std::string render_telemetry(const json::Value& snapshot) {
                   static_cast<unsigned long long>(
                       totals->get("lookups").as_uint()),
                   totals->get("mem_bytes").as_number() / 1024.0);
+    out += line;
+  }
+  const json::Value* service = snapshot.find("service");
+  if (service != nullptr && service->is_object()) {
+    char line[200];
+    std::snprintf(
+        line, sizeof line,
+        "service: queue %llu/%llu, in-flight %llu, %llu reqs (%llu shed), "
+        "cache %.0f%% hit, graph v%llu\n",
+        static_cast<unsigned long long>(service->get("queue_depth").as_uint()),
+        static_cast<unsigned long long>(
+            service->get("queue_capacity").as_uint()),
+        static_cast<unsigned long long>(service->get("in_flight").as_uint()),
+        static_cast<unsigned long long>(service->get("requests").as_uint()),
+        static_cast<unsigned long long>(service->get("shed").as_uint()),
+        service->get("cache_hit_rate").as_number() * 100.0,
+        static_cast<unsigned long long>(
+            service->get("graph_version").as_uint()));
     out += line;
   }
   return out;

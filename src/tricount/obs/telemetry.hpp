@@ -38,6 +38,22 @@ struct alignas(64) RankTelemetry {
   std::atomic<std::uint64_t> scratch_bytes{0};
 };
 
+/// Live state of a resident service daemon (docs/service.md): admission
+/// queue depth, in-flight batch size, cache accounting, and the current
+/// graph version. One instance per Service, registered on the installed
+/// Telemetry so `tricount_top` shows the daemon's health next to the
+/// per-rank rows. All relaxed atomics, same contract as RankTelemetry.
+struct ServiceTelemetry {
+  std::atomic<std::uint64_t> queue_depth{0};
+  std::atomic<std::uint64_t> queue_capacity{0};
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> graph_version{0};
+};
+
 class Telemetry {
  public:
   explicit Telemetry(int ranks);
@@ -62,6 +78,13 @@ class Telemetry {
   void uninstall();
   static Telemetry* current();
 
+  /// Registers (or, with nullptr, unregisters) a service slot. Not owned;
+  /// must outlive its registration. When set, snapshot_json() gains a
+  /// "service" object — absent otherwise so batch-run snapshots are
+  /// byte-identical to pre-service builds.
+  void set_service(ServiceTelemetry* service) { service_.store(service); }
+  ServiceTelemetry* service() const { return service_.load(); }
+
   /// A tricount.telemetry.v1 snapshot of every rank slot.
   json::Value snapshot_json() const;
   /// Writes snapshot_json() to `path` atomically (tmp file + rename), so
@@ -76,6 +99,7 @@ class Telemetry {
  private:
   int ranks_ = 0;
   std::unique_ptr<RankTelemetry[]> slots_;  // atomics: not vector-movable
+  std::atomic<ServiceTelemetry*> service_{nullptr};
 };
 
 /// Renders a tricount.telemetry.v1 snapshot as the fixed-width table

@@ -1,0 +1,74 @@
+#include "tricount/service/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tricount::service {
+
+bool AdmissionQueue::try_push(Pending pending) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || queue_.size() >= depth_) {
+      ++shed_;
+      return false;
+    }
+    queue_.push_back(std::move(pending));
+    ++admitted_;
+    max_depth_ = std::max<std::uint64_t>(max_depth_, queue_.size());
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
+std::vector<Pending> AdmissionQueue::pop_batch(std::size_t max_batch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+  return pop_locked(max_batch);
+}
+
+std::vector<Pending> AdmissionQueue::try_pop_batch(std::size_t max_batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pop_locked(max_batch);
+}
+
+std::vector<Pending> AdmissionQueue::pop_locked(std::size_t max_batch) {
+  std::vector<Pending> batch;
+  const std::size_t take = std::min(max_batch, queue_.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void AdmissionQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+bool AdmissionQueue::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopped_;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.admitted = admitted_;
+  s.shed = shed_;
+  s.max_depth = max_depth_;
+  s.depth = queue_.size();
+  s.capacity = depth_;
+  return s;
+}
+
+}  // namespace tricount::service

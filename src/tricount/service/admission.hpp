@@ -1,0 +1,70 @@
+// Bounded admission queue with load shedding (docs/service.md): the
+// socket/stdin reader pushes parsed requests, the dispatcher pops them
+// in batches. try_push refuses once `depth` requests are waiting — the
+// caller answers with a `shed` error instead of queueing unboundedly,
+// which is the backpressure contract a remote client sees.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "tricount/service/protocol.hpp"
+
+namespace tricount::service {
+
+/// One admitted request plus its submission timestamp (for latency
+/// accounting; monotonic microseconds).
+struct Pending {
+  Request request;
+  double submit_us = 0.0;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t depth) : depth_(depth) {}
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t max_depth = 0;
+    std::size_t depth = 0;
+    std::size_t capacity = 0;
+  };
+
+  /// Admits the request, or returns false (shed) when the queue is full
+  /// or the queue has been stopped.
+  bool try_push(Pending pending);
+
+  /// Blocks until at least one request is waiting (or the queue is
+  /// stopped), then pops up to `max_batch` requests. After stop(), keeps
+  /// returning the remaining backlog without blocking; returns an empty
+  /// batch only when stopped *and* drained.
+  std::vector<Pending> pop_batch(std::size_t max_batch);
+
+  /// Non-blocking variant; empty when nothing is waiting.
+  std::vector<Pending> try_pop_batch(std::size_t max_batch);
+
+  /// Wakes blocked poppers; try_push refuses from now on.
+  void stop();
+
+  bool stopped() const;
+  std::size_t size() const;
+  Stats stats() const;
+
+ private:
+  std::vector<Pending> pop_locked(std::size_t max_batch);
+
+  std::size_t depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<Pending> queue_;
+  bool stopped_ = false;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t max_depth_ = 0;
+};
+
+}  // namespace tricount::service

@@ -1,0 +1,159 @@
+#include "tricount/service/artifact.hpp"
+
+#include "tricount/obs/build_info.hpp"
+#include "tricount/service/protocol.hpp"
+
+namespace tricount::service {
+
+using obs::json::Value;
+
+namespace {
+
+/// Histogram the service records request latencies into.
+constexpr const char* kLatencyHistogram = "service.request_latency_us";
+
+bool valid_cache_tag(const std::string& tag) {
+  return tag == "hit" || tag == "miss" || tag == "coalesced" || tag == "none";
+}
+
+}  // namespace
+
+Value build_session_artifact(int ranks, const SessionCounters& counters,
+                             const ResultCache::Stats& cache_stats,
+                             const obs::Snapshot& metrics,
+                             const std::vector<RequestRecord>& records) {
+  Value root = Value::object();
+  root.set("schema", kSchema);
+  root.set("build", obs::build_info_json());
+  root.set("ranks", ranks);
+
+  Value session = Value::object();
+  session.set("requests", counters.requests);
+  session.set("admitted", counters.admitted);
+  session.set("shed", counters.shed);
+  session.set("rejected", counters.rejected);
+  session.set("errors", counters.errors);
+  session.set("jobs", counters.jobs);
+  session.set("graph_version", counters.graph_version);
+
+  Value cache = Value::object();
+  cache.set("hits", cache_stats.hits);
+  cache.set("misses", cache_stats.misses);
+  cache.set("evictions", cache_stats.evictions);
+  cache.set("invalidations", cache_stats.invalidations);
+  cache.set("size", static_cast<std::uint64_t>(cache_stats.size));
+  cache.set("capacity", static_cast<std::uint64_t>(cache_stats.capacity));
+  session.set("cache", std::move(cache));
+
+  Value latency = Value::object();
+  auto it = metrics.histograms.find(kLatencyHistogram);
+  if (it != metrics.histograms.end() && it->second.count > 0) {
+    latency.set("count", it->second.count);
+    latency.set("p50", it->second.quantile(0.50));
+    latency.set("p95", it->second.quantile(0.95));
+    latency.set("p99", it->second.quantile(0.99));
+    latency.set("max", it->second.max);
+  } else {
+    latency.set("count", 0);
+  }
+  session.set("latency_us", std::move(latency));
+  root.set("session", std::move(session));
+
+  root.set("metrics", metrics.to_json());
+
+  Value requests = Value::array();
+  for (const RequestRecord& r : records) {
+    Value row = Value::object();
+    row.set("id", r.id);
+    row.set("verb", r.verb);
+    row.set("graph_version", r.graph_version);
+    row.set("cache", r.cache);
+    row.set("batched", r.batched);
+    row.set("ok", r.ok);
+    if (!r.ok) row.set("error", r.error);
+    row.set("latency_us", r.latency_us);
+    row.set("supersteps", r.supersteps);
+    requests.push_back(std::move(row));
+  }
+  root.set("requests", std::move(requests));
+  return root;
+}
+
+std::vector<std::string> lint_service(const Value& artifact) {
+  std::vector<std::string> violations;
+  auto violate = [&](const std::string& what) { violations.push_back(what); };
+
+  const Value* schema = artifact.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    violate(std::string("schema must be '") + kSchema + "'");
+    return violations;  // wrong document type; nothing else is meaningful
+  }
+
+  try {
+    const Value* ranks = artifact.find("ranks");
+    if (ranks == nullptr || !ranks->is_number() || ranks->as_number() < 1) {
+      violate("ranks must be >= 1");
+    }
+
+    const Value& session = artifact.get("session");
+    const Value& requests = artifact.get("requests");
+    const std::uint64_t total = session.get("requests").as_uint();
+    const std::uint64_t admitted = session.get("admitted").as_uint();
+    const std::uint64_t shed = session.get("shed").as_uint();
+    const std::uint64_t rejected = session.get("rejected").as_uint();
+    if (admitted + shed + rejected != total) {
+      violate("session: admitted + shed + rejected != requests");
+    }
+
+    std::uint64_t hit_records = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const Value& row = requests.at(i);
+      const std::string where = "requests[" + std::to_string(i) + "]";
+      row.get("id").as_uint();
+      if (row.get("verb").as_string().empty()) {
+        violate(where + ": empty verb");
+      }
+      const std::string cache = row.get("cache").as_string();
+      if (!valid_cache_tag(cache)) {
+        violate(where + ": unknown cache tag '" + cache + "'");
+      }
+      if (row.get("latency_us").as_number() < 0) {
+        violate(where + ": negative latency");
+      }
+      const std::uint64_t supersteps = row.get("supersteps").as_uint();
+      if (cache != "miss" && cache != "none" && supersteps != 0) {
+        violate(where + ": cache " + cache + " ran " +
+                std::to_string(supersteps) + " supersteps");
+      }
+      if (!row.get("ok").as_bool()) {
+        const Value* error = row.find("error");
+        if (error == nullptr || !error->is_string() ||
+            error->as_string().empty()) {
+          violate(where + ": failed request without an error code");
+        }
+      }
+      if (cache == "hit") ++hit_records;
+    }
+
+    const Value& cache = session.get("cache");
+    if (cache.get("hits").as_uint() != hit_records) {
+      violate("session.cache.hits != number of 'hit' request records");
+    }
+
+    const Value& latency = session.get("latency_us");
+    if (latency.get("count").as_uint() > 0) {
+      const double p50 = latency.get("p50").as_number();
+      const double p95 = latency.get("p95").as_number();
+      const double p99 = latency.get("p99").as_number();
+      if (!(p50 <= p95 && p95 <= p99)) {
+        violate("session.latency_us: quantiles not monotone");
+      }
+    }
+  } catch (const std::exception& e) {
+    violate(std::string("artifact shape: ") + e.what());
+  }
+  return violations;
+}
+
+}  // namespace tricount::service

@@ -1,0 +1,58 @@
+// tricount.service.v1 session artifact: one JSON document per daemon
+// session recording every request the service answered (id, verb, cache
+// disposition, latency, supersteps), session-level counters, cache
+// accounting, latency quantiles, and the metrics snapshot — the service
+// analogue of the tricount.metrics run artifact, linted by
+// `tricount_trace_lint --service` (docs/service.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tricount/obs/json.hpp"
+#include "tricount/obs/metrics.hpp"
+#include "tricount/service/cache.hpp"
+
+namespace tricount::service {
+
+/// One served request, as recorded in the artifact's `requests` array.
+struct RequestRecord {
+  std::uint64_t id = 0;
+  std::string verb;
+  std::uint64_t graph_version = 0;
+  /// "hit" (result cache), "miss" (computed), "coalesced" (batch-local
+  /// duplicate of a miss), or "none" (admin/error paths).
+  std::string cache = "none";
+  bool batched = false;
+  bool ok = true;
+  std::string error;  ///< error code string when !ok
+  double latency_us = 0.0;
+  /// Counting supersteps this request caused. Cache hits and coalesced
+  /// requests must report 0 — the acceptance criterion "a cache hit
+  /// answers without any counting superstep" is linted, not assumed.
+  std::uint64_t supersteps = 0;
+};
+
+/// Session-level tallies (mirrored into the telemetry service gauges).
+struct SessionCounters {
+  std::uint64_t requests = 0;  ///< every line received
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;  ///< parse/validation failures
+  std::uint64_t errors = 0;    ///< admitted but failed to execute
+  std::uint64_t jobs = 0;      ///< SPMD jobs run on the world
+  std::uint64_t graph_version = 0;
+};
+
+/// Assembles the session artifact document.
+obs::json::Value build_session_artifact(
+    int ranks, const SessionCounters& counters,
+    const ResultCache::Stats& cache_stats, const obs::Snapshot& metrics,
+    const std::vector<RequestRecord>& records);
+
+/// Validates a session artifact. Returns human-readable violations
+/// (empty = clean).
+std::vector<std::string> lint_service(const obs::json::Value& artifact);
+
+}  // namespace tricount::service

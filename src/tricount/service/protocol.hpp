@@ -1,0 +1,84 @@
+// tricount.service.v1 wire protocol: newline-delimited JSON requests and
+// responses (docs/service.md).
+//
+// A request line is one JSON object:
+//   {"id": 1, "verb": "count", "params": {"algo": "2d"}}
+// and every response is one compact JSON object:
+//   {"schema":"tricount.service.v1","id":1,"ok":true,"result":{...}}
+//   {"schema":"tricount.service.v1","id":1,"ok":false,"error":{"code":...}}
+//
+// Requests arrive from an untrusted socket, so parsing runs under
+// json::ParseLimits and every failure maps to a typed ErrorCode. Params
+// are canonicalized (recursively key-sorted, compact) so the result
+// cache and the batch coalescer treat {"a":1,"b":2} and {"b":2,"a":1}
+// as the same query.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tricount/obs/json.hpp"
+
+namespace tricount::service {
+
+inline constexpr const char* kSchema = "tricount.service.v1";
+
+/// Machine-readable error classes, stable across releases.
+enum class ErrorCode {
+  kParse,      ///< request line is not valid JSON
+  kTruncated,  ///< request line ended mid-document
+  kTooLarge,   ///< request line exceeds the byte limit
+  kTooDeep,    ///< request nesting exceeds the depth limit
+  kBadRequest, ///< valid JSON but not a valid request envelope
+  kBadVerb,    ///< unknown verb
+  kBadParams,  ///< verb-specific parameter validation failed
+  kNoGraph,    ///< query before any graph was loaded
+  kShed,       ///< admission queue full; retry later
+  kInternal,   ///< execution failed
+};
+
+const char* to_string(ErrorCode code);
+
+/// Parsing limits for untrusted request lines. The defaults bound a
+/// request at 1 MiB and 16 nesting levels — generous for every defined
+/// verb, tight enough that a hostile client cannot balloon the parser.
+struct WireLimits {
+  std::size_t max_bytes = std::size_t{1} << 20;
+  std::size_t max_depth = 16;
+};
+
+/// A validated request envelope.
+struct Request {
+  std::uint64_t id = 0;
+  std::string verb;
+  obs::json::Value params;          // object, possibly empty
+  std::string canonical_params;     ///< key-sorted compact dump (cache key)
+};
+
+/// parse_request outcome: either a request or a ready-to-send error.
+struct ParseOutcome {
+  bool ok = false;
+  Request request;
+  ErrorCode error = ErrorCode::kParse;
+  std::string message;
+};
+
+/// Parses and validates one request line under `limits`.
+ParseOutcome parse_request(std::string_view line, const WireLimits& limits);
+
+/// Recursively key-sorts every object and returns the compact dump.
+std::string canonicalize(const obs::json::Value& value);
+
+/// One compact success response line (no trailing newline).
+std::string ok_response(std::uint64_t id, const obs::json::Value& result);
+
+/// Same, splicing an already-compact result body verbatim — byte-identical
+/// to ok_response(id, parse(result_json)). This is how cached results are
+/// served without re-parsing.
+std::string ok_response_raw(std::uint64_t id, const std::string& result_json);
+
+/// One compact error response line (no trailing newline).
+std::string error_response(std::uint64_t id, ErrorCode code,
+                           const std::string& message);
+
+}  // namespace tricount::service

@@ -1,0 +1,827 @@
+#include "tricount/service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "tricount/cetric/cetric.hpp"
+#include "tricount/core/dist_truss.hpp"
+#include "tricount/core/per_vertex.hpp"
+#include "tricount/core/summa2d.hpp"
+#include "tricount/graph/approx.hpp"
+#include "tricount/graph/generators.hpp"
+#include "tricount/graph/io.hpp"
+#include "tricount/kernels/kernels.hpp"
+#include "tricount/util/time.hpp"
+
+namespace tricount::service {
+
+using obs::json::Value;
+
+namespace {
+
+constexpr const char* kLatencyHistogram = "service.request_latency_us";
+
+double now_us() { return util::wall_seconds() * 1e6; }
+
+bool cacheable_verb(const std::string& verb) {
+  return verb == "count" || verb == "pervertex" || verb == "clustering" ||
+         verb == "truss" || verb == "support" || verb == "approx";
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+graph::EdgeList load_graph_file(const std::string& path) {
+  if (has_suffix(path, ".mtx")) return graph::read_matrix_market(path);
+  if (has_suffix(path, ".bin")) return graph::read_binary(path);
+  return graph::read_edge_list(path);
+}
+
+/// Reads an optional bounded non-negative integer param.
+bool get_uint_param(const Value& params, const char* key,
+                    std::uint64_t fallback, std::uint64_t max,
+                    std::uint64_t& out) {
+  const Value* v = params.find(key);
+  if (v == nullptr) {
+    out = fallback;
+    return true;
+  }
+  if (!v->is_number() || v->as_number() < 0 ||
+      std::floor(v->as_number()) != v->as_number()) {
+    return false;
+  }
+  out = v->as_uint();
+  return out <= max;
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& options, ResponseSink sink)
+    : options_(options),
+      sink_(std::move(sink)),
+      queue_(options.queue_depth),
+      cache_(options.cache_capacity) {
+  if (mpisim::perfect_square_root(options_.ranks) == 0) {
+    throw std::invalid_argument("service: ranks must be a perfect square");
+  }
+  gauges_.queue_capacity.store(options_.queue_depth,
+                               std::memory_order_relaxed);
+  if (obs::Telemetry* telemetry = obs::Telemetry::current()) {
+    telemetry->set_service(&gauges_);
+  }
+  if (!options_.manual_dispatch) {
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  }
+}
+
+Service::~Service() {
+  try {
+    shutdown();
+  } catch (...) {  // a failed artifact flush must not abort teardown
+  }
+  if (obs::Telemetry* telemetry = obs::Telemetry::current()) {
+    if (telemetry->service() == &gauges_) telemetry->set_service(nullptr);
+  }
+}
+
+void Service::submit(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.requests;
+  }
+  registry_.counter("service.requests").inc();
+
+  ParseOutcome outcome = parse_request(line, options_.limits);
+  if (!outcome.ok) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.rejected;
+    }
+    registry_.counter("service.rejected").inc();
+    emit(error_response(outcome.request.id, outcome.error, outcome.message));
+    RequestRecord row;
+    row.id = outcome.request.id;
+    row.verb = outcome.request.verb.empty() ? "?" : outcome.request.verb;
+    row.ok = false;
+    row.error = to_string(outcome.error);
+    record(std::move(row));
+    refresh_gauges();
+    return;
+  }
+
+  Pending pending;
+  pending.submit_us = now_us();
+  const std::uint64_t id = outcome.request.id;
+  const std::string verb = outcome.request.verb;
+  pending.request = std::move(outcome.request);
+  if (!queue_.try_push(std::move(pending))) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++counters_.shed;
+    }
+    registry_.counter("service.shed").inc();
+    emit(error_response(id, ErrorCode::kShed,
+                        "admission queue full; retry later"));
+    RequestRecord row;
+    row.id = id;
+    row.verb = verb;
+    row.ok = false;
+    row.error = to_string(ErrorCode::kShed);
+    record(std::move(row));
+    refresh_gauges();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.admitted;
+  }
+  refresh_gauges();
+}
+
+void Service::dispatcher_loop() {
+  while (true) {
+    std::vector<Pending> batch =
+        queue_.pop_batch(options_.batching ? options_.max_batch : 1);
+    if (batch.empty()) break;  // stopped and drained
+    execute_batch(std::move(batch));
+  }
+}
+
+bool Service::dispatch_once() {
+  std::vector<Pending> batch =
+      queue_.try_pop_batch(options_.batching ? options_.max_batch : 1);
+  if (batch.empty()) return false;
+  execute_batch(std::move(batch));
+  return true;
+}
+
+void Service::drain() {
+  while (dispatch_once()) {
+  }
+}
+
+void Service::execute_batch(std::vector<Pending> batch) {
+  gauges_.in_flight.store(batch.size(), std::memory_order_relaxed);
+  const bool batched = batch.size() > 1;
+  // Batch-local coalescing when the cache is disabled: identical queries
+  // in one sweep still compute once. With the cache on, the first miss is
+  // inserted immediately, so same-batch duplicates are plain cache hits.
+  std::unordered_map<std::string, std::string> computed;
+
+  for (Pending& pending : batch) {
+    const Request& request = pending.request;
+    RequestRecord row;
+    row.id = request.id;
+    row.verb = request.verb;
+    row.graph_version = graph_version_;
+    row.batched = batched;
+
+    const bool use_cache = cacheable_verb(request.verb) && graph_loaded();
+    const std::string key =
+        use_cache ? ResultCache::key(graph_version_, request.verb,
+                                     request.canonical_params)
+                  : std::string();
+    std::string response;
+    if (use_cache) {
+      if (auto hit = cache_.get(key)) {
+        row.cache = "hit";
+        response = ok_response_raw(request.id, *hit);
+      } else if (auto it = computed.find(key); it != computed.end()) {
+        row.cache = "coalesced";
+        response = ok_response_raw(request.id, it->second);
+      }
+    }
+    if (response.empty()) {
+      Execution exec = execute(request);
+      if (exec.ok) {
+        response = ok_response_raw(request.id, exec.result_json);
+        row.supersteps = exec.supersteps;
+        if (use_cache && exec.cacheable) {
+          row.cache = "miss";
+          if (options_.cache_capacity > 0) {
+            cache_.put(key, exec.result_json);
+          } else {
+            computed.emplace(key, exec.result_json);
+          }
+        }
+      } else {
+        response = error_response(request.id, exec.error, exec.message);
+        row.ok = false;
+        row.error = to_string(exec.error);
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.errors;
+      }
+    }
+    row.latency_us = std::max(0.0, now_us() - pending.submit_us);
+    registry_.histogram(kLatencyHistogram).observe(row.latency_us);
+    emit(response);
+    record(std::move(row));
+  }
+  gauges_.in_flight.store(0, std::memory_order_relaxed);
+  refresh_gauges();
+}
+
+Service::Execution Service::execute(const Request& request) {
+  const std::string& verb = request.verb;
+  try {
+    if (verb == "hello") return verb_hello(request);
+    if (verb == "graph.load" || verb == "graph.swap") {
+      return verb_graph_load(request);
+    }
+    if (verb == "count") return verb_count(request);
+    if (verb == "pervertex") return verb_pervertex(request);
+    if (verb == "clustering") return verb_clustering(request);
+    if (verb == "truss") return verb_truss(request);
+    if (verb == "support") return verb_support(request);
+    if (verb == "approx") return verb_approx(request);
+    if (verb == "cache.stats") return verb_cache_stats(request);
+    if (verb == "stats") return verb_stats(request);
+    if (verb == "shutdown") {
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        stop_requested_ = true;
+      }
+      Value result = Value::object();
+      result.set("stopping", true);
+      Execution out;
+      out.result_json = result.dump();
+      return out;
+    }
+    Execution out;
+    out.ok = false;
+    out.error = ErrorCode::kBadVerb;
+    out.message = "unknown verb '" + verb + "'";
+    return out;
+  } catch (const std::exception& e) {
+    Execution out;
+    out.ok = false;
+    out.error = ErrorCode::kInternal;
+    out.message = e.what();
+    return out;
+  }
+}
+
+Service::Execution Service::verb_hello(const Request&) {
+  Value result = Value::object();
+  result.set("server", "tricountd");
+  result.set("schema", kSchema);
+  result.set("ranks", options_.ranks);
+  result.set("graph_version", graph_version_);
+  result.set("graph", graph_loaded() ? Value(graph_name_) : Value());
+  Execution out;
+  out.result_json = result.dump();
+  return out;
+}
+
+Service::Execution Service::verb_graph_load(const Request& request) {
+  graph::EdgeList graph;
+  std::string name;
+  const Value* path = request.params.find("path");
+  const Value* generate = request.params.find("generate");
+  Execution out;
+  if ((path != nullptr) == (generate != nullptr)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "need exactly one of 'path' or 'generate'";
+    return out;
+  }
+  if (path != nullptr) {
+    if (!path->is_string() || path->as_string().empty()) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'path' must be a non-empty string";
+      return out;
+    }
+    graph = load_graph_file(path->as_string());
+    name = path->as_string();
+  } else {
+    if (!generate->is_object()) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'generate' must be an object";
+      return out;
+    }
+    const Value* type = generate->find("type");
+    const std::string kind =
+        type != nullptr && type->is_string() ? type->as_string() : "rmat";
+    std::uint64_t seed = 1;
+    if (!get_uint_param(*generate, "seed", 1, ~std::uint64_t{0}, seed)) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'seed' must be a non-negative integer";
+      return out;
+    }
+    if (kind == "rmat") {
+      std::uint64_t scale = 8;
+      std::uint64_t edge_factor = 8;
+      if (!get_uint_param(*generate, "scale", 8, 22, scale) ||
+          !get_uint_param(*generate, "edge_factor", 8, 256, edge_factor)) {
+        out.ok = false;
+        out.error = ErrorCode::kBadParams;
+        out.message = "rmat: bad 'scale' or 'edge_factor'";
+        return out;
+      }
+      graph::RmatParams params;
+      params.scale = static_cast<int>(scale);
+      params.edge_factor = static_cast<double>(edge_factor);
+      params.seed = seed;
+      graph = graph::rmat(params);
+      name = "rmat_s" + std::to_string(scale);
+    } else if (kind == "er") {
+      std::uint64_t n = 1024;
+      std::uint64_t edges = 8192;
+      if (!get_uint_param(*generate, "n", 1024, 1u << 24, n) ||
+          !get_uint_param(*generate, "edges", 8192, 1u << 28, edges)) {
+        out.ok = false;
+        out.error = ErrorCode::kBadParams;
+        out.message = "er: bad 'n' or 'edges'";
+        return out;
+      }
+      graph = graph::erdos_renyi(static_cast<graph::VertexId>(n),
+                                 static_cast<graph::EdgeIndex>(edges), seed);
+      name = "er_n" + std::to_string(n);
+    } else if (kind == "ws") {
+      std::uint64_t n = 512;
+      std::uint64_t k = 8;
+      const Value* beta = generate->find("beta");
+      const double b =
+          beta != nullptr && beta->is_number() ? beta->as_number() : 0.1;
+      if (!get_uint_param(*generate, "n", 512, 1u << 24, n) ||
+          !get_uint_param(*generate, "k", 8, 512, k) || b < 0.0 || b > 1.0) {
+        out.ok = false;
+        out.error = ErrorCode::kBadParams;
+        out.message = "ws: bad 'n', 'k', or 'beta'";
+        return out;
+      }
+      graph = graph::watts_strogatz(static_cast<graph::VertexId>(n),
+                                    static_cast<int>(k), b, seed);
+      name = "ws_n" + std::to_string(n);
+    } else {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "unknown generator '" + kind + "'";
+      return out;
+    }
+  }
+
+  load_graph(std::move(graph), name);
+  Value result = Value::object();
+  result.set("graph_version", graph_version_);
+  result.set("graph", graph_name_);
+  result.set("num_vertices", static_cast<std::uint64_t>(partition_.num_vertices));
+  result.set("num_edges", static_cast<std::uint64_t>(partition_.num_edges));
+  result.set("resident_bytes", partition_.resident_bytes());
+  out.result_json = result.dump();
+  return out;
+}
+
+void Service::load_graph(graph::EdgeList graph, const std::string& name) {
+  ensure_world();
+  graph_ = graph::simplify(std::move(graph));
+  graph_name_ = name;
+  core::RunOptions run_options;
+  run_options.config = options_.config;
+  run_options.model = options_.model;
+  partition_ = core::preprocess_resident(*world_, graph_, run_options);
+  ++graph_version_;
+  cache_.invalidate_all();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    counters_.graph_version = graph_version_;
+  }
+  refresh_gauges();
+}
+
+void Service::ensure_world() {
+  if (world_ != nullptr && !world_->poisoned()) return;
+  world_.reset();  // join any poisoned world's threads first
+  world_ = std::make_unique<mpisim::PersistentWorld>(options_.ranks);
+}
+
+Service::Execution Service::verb_count(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  const Value* algo_param = request.params.find("algo");
+  const std::string algo =
+      algo_param != nullptr && algo_param->is_string() ? algo_param->as_string()
+                                                       : "2d";
+  core::Config config = options_.config;
+  if (const Value* kernel = request.params.find("kernel")) {
+    if (!kernel->is_string() ||
+        !kernels::parse_policy(kernel->as_string(), config.kernel)) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "bad 'kernel'";
+      return out;
+    }
+  }
+  if (const Value* overlap = request.params.find("overlap")) {
+    if (overlap->type() != Value::Type::kBool) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'overlap' must be a bool";
+      return out;
+    }
+    config.overlap = overlap->as_bool();
+  }
+
+  graph::TriangleCount triangles = 0;
+  std::uint64_t supersteps = 0;
+  if (algo == "2d") {
+    if (world_ == nullptr || world_->poisoned()) {
+      out.ok = false;
+      out.error = ErrorCode::kInternal;
+      out.message = "world poisoned; reload the graph";
+      return out;
+    }
+    core::RunResult run = core::count_resident(*world_, partition_, config);
+    triangles = run.triangles;
+    supersteps = run.num_shifts();
+  } else if (algo == "cetric") {
+    core::RunOptions run_options;
+    run_options.config = config;
+    run_options.model = options_.model;
+    core::RunResult run =
+        cetric::count_triangles_cetric(graph_, options_.ranks, run_options);
+    triangles = run.triangles;
+    supersteps = run.num_shifts();
+  } else if (algo == "summa") {
+    core::SummaOptions summa;
+    summa.grid_rows = partition_.grid_q;
+    summa.grid_cols = partition_.grid_q;
+    summa.config = config;
+    summa.model = options_.model;
+    core::SummaResult run = core::count_triangles_summa(graph_, summa);
+    triangles = run.triangles;
+    supersteps = static_cast<std::uint64_t>(run.panels);
+  } else {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "unknown algo '" + algo + "'";
+    return out;
+  }
+
+  Value result = Value::object();
+  result.set("algo", algo);
+  result.set("triangles", static_cast<std::uint64_t>(triangles));
+  out.result_json = result.dump();
+  out.supersteps = supersteps;
+  out.cacheable = true;
+  return out;
+}
+
+Service::Execution Service::verb_pervertex(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  std::uint64_t top = 10;
+  if (!get_uint_param(request.params, "top", 10, 10000, top)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "'top' must be an integer in [0, 10000]";
+    return out;
+  }
+
+  core::RunOptions run_options;
+  run_options.config = options_.config;
+  run_options.model = options_.model;
+  core::PerVertexResult per_vertex =
+      core::count_per_vertex_2d(graph_, options_.ranks, run_options);
+
+  std::vector<graph::EdgeIndex> degree(graph_.num_vertices, 0);
+  for (const auto& edge : graph_.edges) {
+    ++degree[static_cast<std::size_t>(edge.u)];
+    ++degree[static_cast<std::size_t>(edge.v)];
+  }
+
+  const Value* vertices = request.params.find("vertices");
+  Value rows = Value::array();
+  auto emit_vertex = [&](graph::VertexId v) {
+    Value row = Value::object();
+    row.set("vertex", static_cast<std::uint64_t>(v));
+    row.set("triangles", static_cast<std::uint64_t>(
+                             per_vertex.counts[static_cast<std::size_t>(v)]));
+    row.set("clustering", per_vertex.local_clustering(
+                              v, degree[static_cast<std::size_t>(v)]));
+    rows.push_back(std::move(row));
+  };
+  if (vertices != nullptr) {
+    if (!vertices->is_array()) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'vertices' must be an array of vertex ids";
+      return out;
+    }
+    for (std::size_t i = 0; i < vertices->size(); ++i) {
+      const Value& v = vertices->at(i);
+      if (!v.is_number() || v.as_number() < 0 ||
+          v.as_number() >= static_cast<double>(graph_.num_vertices)) {
+        out.ok = false;
+        out.error = ErrorCode::kBadParams;
+        out.message = "vertex id out of range";
+        return out;
+      }
+      emit_vertex(static_cast<graph::VertexId>(v.as_uint()));
+    }
+  } else {
+    std::vector<graph::VertexId> order(
+        static_cast<std::size_t>(graph_.num_vertices));
+    std::iota(order.begin(), order.end(), graph::VertexId{0});
+    std::sort(order.begin(), order.end(),
+              [&](graph::VertexId a, graph::VertexId b) {
+                const auto ca = per_vertex.counts[static_cast<std::size_t>(a)];
+                const auto cb = per_vertex.counts[static_cast<std::size_t>(b)];
+                return ca != cb ? ca > cb : a < b;
+              });
+    const std::size_t take =
+        std::min<std::size_t>(top, order.size());
+    for (std::size_t i = 0; i < take; ++i) emit_vertex(order[i]);
+  }
+
+  Value result = Value::object();
+  result.set("total_triangles",
+             static_cast<std::uint64_t>(per_vertex.total_triangles));
+  result.set(vertices != nullptr ? "vertices" : "top", std::move(rows));
+  out.result_json = result.dump();
+  out.supersteps = static_cast<std::uint64_t>(partition_.grid_q);
+  out.cacheable = true;
+  return out;
+}
+
+Service::Execution Service::verb_clustering(const Request&) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  core::RunOptions run_options;
+  run_options.config = options_.config;
+  run_options.model = options_.model;
+  const core::ClusteringStats stats =
+      core::clustering_stats_2d(graph_, options_.ranks, run_options);
+  Value result = Value::object();
+  result.set("triangles", static_cast<std::uint64_t>(stats.triangles));
+  result.set("wedges", static_cast<std::uint64_t>(stats.wedges));
+  result.set("transitivity", stats.transitivity);
+  result.set("average_local_clustering", stats.average_local_clustering);
+  out.result_json = result.dump();
+  out.supersteps = static_cast<std::uint64_t>(partition_.grid_q);
+  out.cacheable = true;
+  return out;
+}
+
+Service::Execution Service::verb_truss(const Request&) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  core::RunOptions run_options;
+  run_options.config = options_.config;
+  run_options.model = options_.model;
+  const graph::KtrussResult truss =
+      core::ktruss_2d(graph_, options_.ranks, run_options);
+  Value per_k = Value::array();
+  for (int k = 3; k <= truss.max_k; ++k) {
+    std::uint64_t edges = 0;
+    for (const int t : truss.trussness) {
+      if (t >= k) ++edges;
+    }
+    Value row = Value::object();
+    row.set("k", k);
+    row.set("edges", edges);
+    per_k.push_back(std::move(row));
+  }
+  Value result = Value::object();
+  result.set("max_k", truss.max_k);
+  result.set("per_k", std::move(per_k));
+  out.result_json = result.dump();
+  out.supersteps = static_cast<std::uint64_t>(partition_.grid_q);
+  out.cacheable = true;
+  return out;
+}
+
+Service::Execution Service::verb_support(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  std::uint64_t top = 10;
+  if (!get_uint_param(request.params, "top", 10, 10000, top)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "'top' must be an integer in [0, 10000]";
+    return out;
+  }
+  core::RunOptions run_options;
+  run_options.config = options_.config;
+  run_options.model = options_.model;
+  const std::vector<graph::TriangleCount> supports =
+      core::edge_supports_2d(graph_, options_.ranks, run_options);
+
+  std::vector<std::size_t> order(supports.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return supports[a] != supports[b] ? supports[a] > supports[b] : a < b;
+  });
+  Value rows = Value::array();
+  const std::size_t take = std::min<std::size_t>(top, order.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto& edge = graph_.edges[order[i]];
+    Value row = Value::object();
+    row.set("u", static_cast<std::uint64_t>(edge.u));
+    row.set("v", static_cast<std::uint64_t>(edge.v));
+    row.set("support", static_cast<std::uint64_t>(supports[order[i]]));
+    rows.push_back(std::move(row));
+  }
+  Value result = Value::object();
+  result.set("edges", static_cast<std::uint64_t>(supports.size()));
+  result.set("top", std::move(rows));
+  out.result_json = result.dump();
+  out.supersteps = static_cast<std::uint64_t>(partition_.grid_q);
+  out.cacheable = true;
+  return out;
+}
+
+Service::Execution Service::verb_approx(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  const Value* retention_param = request.params.find("retention");
+  const double retention =
+      retention_param != nullptr && retention_param->is_number()
+          ? retention_param->as_number()
+          : 0.1;
+  if (!(retention > 0.0 && retention <= 1.0)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "'retention' must be in (0, 1]";
+    return out;
+  }
+  std::uint64_t seed = 42;
+  if (!get_uint_param(request.params, "seed", 42, ~std::uint64_t{0}, seed)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "'seed' must be a non-negative integer";
+    return out;
+  }
+  const graph::ApproxCount approx =
+      graph::approx_triangles_doulion(graph_, retention, seed);
+  Value result = Value::object();
+  result.set("estimate", approx.estimate);
+  result.set("sparsified_triangles",
+             static_cast<std::uint64_t>(approx.sparsified_triangles));
+  result.set("kept_edges", static_cast<std::uint64_t>(approx.kept_edges));
+  result.set("retention", approx.retention);
+  out.result_json = result.dump();
+  out.supersteps = 0;  // serial sparsify-and-count; no distributed sweep
+  out.cacheable = true;
+  return out;
+}
+
+Service::Execution Service::verb_cache_stats(const Request&) {
+  const ResultCache::Stats stats = cache_.stats();
+  Value result = Value::object();
+  result.set("hits", stats.hits);
+  result.set("misses", stats.misses);
+  result.set("evictions", stats.evictions);
+  result.set("invalidations", stats.invalidations);
+  result.set("size", static_cast<std::uint64_t>(stats.size));
+  result.set("capacity", static_cast<std::uint64_t>(stats.capacity));
+  Execution out;
+  out.result_json = result.dump();
+  return out;
+}
+
+Service::Execution Service::verb_stats(const Request&) {
+  SessionCounters counters;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    counters = counters_;
+  }
+  const AdmissionQueue::Stats queue = queue_.stats();
+  Value result = Value::object();
+  result.set("requests", counters.requests);
+  result.set("admitted", counters.admitted);
+  result.set("shed", counters.shed);
+  result.set("rejected", counters.rejected);
+  result.set("errors", counters.errors);
+  result.set("jobs", world_ != nullptr ? world_->jobs_run() : 0);
+  result.set("graph_version", graph_version_);
+  result.set("queue_depth", static_cast<std::uint64_t>(queue.depth));
+  result.set("queue_max_depth", queue.max_depth);
+  result.set("resident_bytes",
+             graph_loaded() ? partition_.resident_bytes() : 0);
+  Execution out;
+  out.result_json = result.dump();
+  return out;
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.stop();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Manual mode (or a race that left a backlog): drain on this thread.
+  while (true) {
+    std::vector<Pending> batch =
+        queue_.try_pop_batch(options_.batching ? options_.max_batch : 1);
+    if (batch.empty()) break;
+    execute_batch(std::move(batch));
+  }
+  if (!options_.artifacts_dir.empty()) write_session_artifact();
+}
+
+bool Service::stop_requested() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stop_requested_;
+}
+
+std::uint64_t Service::graph_version() const { return graph_version_; }
+
+std::uint64_t Service::jobs_run() const {
+  return world_ != nullptr ? world_->jobs_run() : 0;
+}
+
+ResultCache::Stats Service::cache_stats() const { return cache_.stats(); }
+
+AdmissionQueue::Stats Service::queue_stats() const { return queue_.stats(); }
+
+SessionCounters Service::counters() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  SessionCounters counters = counters_;
+  counters.jobs = world_ != nullptr ? world_->jobs_run() : 0;
+  counters.graph_version = graph_version_;
+  return counters;
+}
+
+Value Service::session_artifact() const {
+  SessionCounters session = counters();
+  std::vector<RequestRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    records = records_;
+  }
+  return build_session_artifact(options_.ranks, session, cache_.stats(),
+                                registry_.snapshot(), records);
+}
+
+std::string Service::write_session_artifact() const {
+  std::filesystem::create_directories(options_.artifacts_dir);
+  const std::string path = options_.artifacts_dir + "/service-session.json";
+  obs::json::write_file(session_artifact(), path);
+  return path;
+}
+
+void Service::emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (sink_) sink_(line);
+}
+
+void Service::record(RequestRecord row) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  records_.push_back(std::move(row));
+}
+
+void Service::refresh_gauges() {
+  const AdmissionQueue::Stats queue = queue_.stats();
+  const ResultCache::Stats cache = cache_.stats();
+  gauges_.queue_depth.store(queue.depth, std::memory_order_relaxed);
+  gauges_.shed.store(queue.shed, std::memory_order_relaxed);
+  gauges_.cache_hits.store(cache.hits, std::memory_order_relaxed);
+  gauges_.cache_misses.store(cache.misses, std::memory_order_relaxed);
+  gauges_.graph_version.store(graph_version_, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  gauges_.requests.store(counters_.requests, std::memory_order_relaxed);
+}
+
+}  // namespace tricount::service

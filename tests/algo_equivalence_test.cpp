@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "test_corpus.hpp"
 #include "test_seed.hpp"
 #include "tricount/baselines/aop1d.hpp"
 #include "tricount/baselines/push_based1d.hpp"
@@ -22,75 +23,13 @@
 #include "tricount/core/driver.hpp"
 #include "tricount/core/per_vertex.hpp"
 #include "tricount/core/summa2d.hpp"
-#include "tricount/graph/generators.hpp"
-#include "tricount/graph/serial_count.hpp"
-#include "tricount/util/rng.hpp"
 
 namespace tricount {
 namespace {
 
-struct CorpusEntry {
-  graph::EdgeList graph;
-  graph::TriangleCount expected = 0;
-};
-
-graph::EdgeList corpus_graph(util::Xoshiro256& rng) {
-  switch (rng.bounded(4)) {
-    case 0: {
-      graph::RmatParams params;
-      params.scale = 6 + static_cast<int>(rng.bounded(2));
-      params.edge_factor = 4 + static_cast<double>(rng.bounded(6));
-      params.seed = rng();
-      return graph::rmat(params);
-    }
-    case 1: {
-      const auto n = static_cast<graph::VertexId>(40 + rng.bounded(200));
-      const auto m = static_cast<graph::EdgeIndex>(rng.bounded(7) * n / 2);
-      return graph::simplify(graph::erdos_renyi(n, m, rng()));
-    }
-    case 2: {
-      const auto n = static_cast<graph::VertexId>(30 + rng.bounded(150));
-      const int k = 2 * (1 + static_cast<int>(rng.bounded(4)));
-      return graph::simplify(
-          graph::watts_strogatz(n, k, 0.3 * rng.uniform(), rng()));
-    }
-    default: {
-      // Sparse background plus a glued clique: stresses the degree
-      // relabel and the local/cut split with a dense core.
-      graph::EdgeList g = graph::simplify(graph::erdos_renyi(80, 160, rng()));
-      const auto c = static_cast<graph::VertexId>(5 + rng.bounded(6));
-      for (graph::VertexId u = 0; u < c; ++u) {
-        for (graph::VertexId v = u + 1; v < c; ++v) {
-          g.edges.push_back(graph::Edge{u, v});
-        }
-      }
-      return graph::simplify(std::move(g));
-    }
-  }
-}
-
-/// The shared corpus every matrix dimension runs against, generated once
-/// per process from the fuzz seed (override via TRICOUNT_FUZZ_SEED).
-const std::vector<CorpusEntry>& corpus() {
-  static const std::vector<CorpusEntry> entries = [] {
-    util::Xoshiro256 rng(test_support::fuzz_seed() ^ 0xec5a11);
-    std::vector<CorpusEntry> built;
-    for (int i = 0; i < 5; ++i) {
-      CorpusEntry entry;
-      entry.graph = corpus_graph(rng);
-      entry.expected =
-          graph::count_triangles_serial(graph::Csr::from_edges(entry.graph));
-      built.push_back(std::move(entry));
-    }
-    return built;
-  }();
-  return entries;
-}
-
-constexpr kernels::KernelPolicy kPolicies[] = {
-    kernels::KernelPolicy::kAuto,      kernels::KernelPolicy::kMerge,
-    kernels::KernelPolicy::kGalloping, kernels::KernelPolicy::kBitmap,
-    kernels::KernelPolicy::kHash};
+using test_support::CorpusEntry;
+using test_support::corpus;
+using test_support::kPolicies;
 
 TEST(AlgoEquivalence, KernelMatrix) {
   // algorithm x kernel policy x overlap, on every corpus graph. The

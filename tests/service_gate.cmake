@@ -1,0 +1,106 @@
+# Scripted daemon smoke gate, run as `cmake -P` so it needs no shell.
+#
+# Inputs (all -D):
+#   CLI       path to tricount_cli
+#   DAEMON    path to tricountd
+#   LINT      path to tricount_trace_lint
+#   WORK_DIR  scratch directory for the graph, script, and artifacts
+#
+# The gate generates rmat_s8, takes a reference count from the batch
+# CLI, then runs a scripted mixed-query session through tricountd
+# (--script frontend: count across all three algorithms, repeats for
+# cache hits, clustering, per-vertex, approx, cache stats, shutdown).
+# It asserts the daemon exits 0, every served triangle count equals the
+# CLI's reference, the cache saw hits, and the session artifact passes
+# `tricount_trace_lint --service`.
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(GRAPH ${WORK_DIR}/rmat_s8.mtx)
+
+execute_process(
+  COMMAND ${CLI} generate --type rmat --scale 8 --edge-factor 8 --seed 1
+          --out ${GRAPH}
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "service_gate: graph generation failed (${status})")
+endif()
+
+# Reference count from the batch CLI ("triangles: N" on stdout).
+execute_process(
+  COMMAND ${CLI} count --file ${GRAPH} --ranks 4
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE cli_output
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "service_gate: reference CLI count failed (${status})")
+endif()
+string(REGEX MATCH "triangles: ([0-9]+)" _ ${cli_output})
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "service_gate: no triangle count in CLI output")
+endif()
+set(EXPECTED ${CMAKE_MATCH_1})
+
+set(SCRIPT ${WORK_DIR}/session.jsonl)
+file(WRITE ${SCRIPT} "{\"id\":1,\"verb\":\"hello\"}
+{\"id\":2,\"verb\":\"count\",\"params\":{\"algo\":\"2d\"}}
+{\"id\":3,\"verb\":\"count\",\"params\":{\"algo\":\"2d\"}}
+{\"id\":4,\"verb\":\"count\",\"params\":{\"algo\":\"cetric\"}}
+{\"id\":5,\"verb\":\"count\",\"params\":{\"algo\":\"summa\"}}
+{\"id\":6,\"verb\":\"count\",\"params\":{\"algo\":\"2d\",\"kernel\":\"merge\"}}
+{\"id\":7,\"verb\":\"clustering\"}
+{\"id\":8,\"verb\":\"pervertex\",\"params\":{\"top\":5}}
+{\"id\":9,\"verb\":\"approx\",\"params\":{\"retention\":0.5,\"seed\":7}}
+{\"id\":10,\"verb\":\"cache.stats\"}
+{\"id\":11,\"verb\":\"stats\"}
+{\"id\":12,\"verb\":\"shutdown\"}
+")
+
+set(ARTIFACTS ${WORK_DIR}/artifacts)
+execute_process(
+  COMMAND ${DAEMON} --graph ${GRAPH} --ranks 4 --script ${SCRIPT}
+          --artifacts-dir ${ARTIFACTS}
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE responses
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "service_gate: tricountd exited ${status}")
+endif()
+
+# Every count (ids 2-6) must serve the CLI's reference number. Count
+# results are the only ones shaped {"algo":...,"triangles":N} — the
+# pervertex/clustering responses also carry "triangles" keys, with
+# per-vertex numbers that must not be compared against the total.
+string(REGEX MATCHALL "\"algo\":\"[a-z0-9]+\",\"triangles\":([0-9]+)" counts
+       ${responses})
+list(LENGTH counts n_counts)
+if(NOT n_counts EQUAL 5)
+  message(FATAL_ERROR
+          "service_gate: expected 5 served counts, saw ${n_counts}:\n"
+          "${responses}")
+endif()
+foreach(match IN LISTS counts)
+  string(REGEX REPLACE ".*\"triangles\":" "" served ${match})
+  if(NOT served EQUAL ${EXPECTED})
+    message(FATAL_ERROR
+            "service_gate: served count ${served} != CLI count ${EXPECTED}")
+  endif()
+endforeach()
+
+# The duplicate 2d query (id 3) must have hit the cache.
+string(REGEX MATCH "\"hits\":([0-9]+)" _ ${responses})
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "service_gate: no cache hits in session:\n${responses}")
+endif()
+
+if(${responses} MATCHES "\"ok\":false")
+  message(FATAL_ERROR "service_gate: error response in session:\n${responses}")
+endif()
+
+execute_process(
+  COMMAND ${LINT} --service ${ARTIFACTS}/service-session.json
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "service_gate: session artifact failed lint (${status})")
+endif()
+message(STATUS "service_gate: OK (${EXPECTED} triangles across 5 served counts)")

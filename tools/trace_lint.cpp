@@ -8,6 +8,7 @@
 //   tricount_trace_lint --metrics FILE.json...  schema-validate tricount.metrics.v1/v2 files
 //   tricount_trace_lint --flight FILE.jsonl...  validate tricount.flight.v1 dumps
 //   tricount_trace_lint --msgtrace FILE.json... validate tricount.msgtrace.v1 artifacts
+//   tricount_trace_lint --service FILE.json...  validate tricount.service.v1 session artifacts
 //   tricount_trace_lint --selftest              run the built-in good/bad fixtures
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@
 #include "tricount/obs/json.hpp"
 #include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/trace.hpp"
+#include "tricount/service/artifact.hpp"
 #include "tricount/util/build.hpp"
 
 namespace {
@@ -105,6 +107,27 @@ int lint_msgtrace_file(const std::string& path) {
                 recorded != nullptr && recorded->is_number()
                     ? recorded->as_number()
                     : -1.0);
+    return 0;
+  }
+  return 1;
+}
+
+int lint_service_file(const std::string& path) {
+  obs::json::Value root;
+  try {
+    root = obs::json::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  const std::vector<std::string> violations = service::lint_service(root);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), v.c_str());
+  }
+  if (violations.empty()) {
+    const obs::json::Value* requests = root.find("requests");
+    std::printf("%s: OK (%zu requests)\n", path.c_str(),
+                requests != nullptr ? requests->size() : std::size_t{0});
     return 0;
   }
   return 1;
@@ -271,6 +294,56 @@ int selftest() {
     ++failures;
   }
 
+  // --- tricount.service.v1 fixtures ---------------------------------------
+
+  // Parameterized minimal session artifact: one miss then one hit of the
+  // same count query. The defaults are lint-clean; each bad fixture
+  // swaps one field.
+  auto service_fixture = [](const char* schema, std::uint64_t hits,
+                            std::uint64_t hit_supersteps) {
+    char buf[1536];
+    std::snprintf(
+        buf, sizeof buf,
+        R"({"schema":"%s","build":{},"ranks":4,"session":{)"
+        R"("requests":2,"admitted":2,"shed":0,"rejected":0,"errors":0,)"
+        R"("jobs":2,"graph_version":1,)"
+        R"("cache":{"hits":%llu,"misses":1,"evictions":0,"invalidations":0,)"
+        R"("size":1,"capacity":128},)"
+        R"("latency_us":{"count":2,"p50":10.0,"p95":90.0,"p99":99.0,)"
+        R"("max":100.0}},"metrics":{"counters":{},"gauges":{},)"
+        R"("histograms":{}},"requests":[)"
+        R"({"id":1,"verb":"count","graph_version":1,"cache":"miss",)"
+        R"("batched":false,"ok":true,"latency_us":100.0,"supersteps":2},)"
+        R"({"id":2,"verb":"count","graph_version":1,"cache":"hit",)"
+        R"("batched":false,"ok":true,"latency_us":10.0,"supersteps":%llu}]})",
+        schema, static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(hit_supersteps));
+    return obs::json::Value::parse(buf);
+  };
+  if (!service::lint_service(service_fixture("tricount.service.v1", 1, 0))
+           .empty()) {
+    std::fprintf(stderr, "selftest: clean service artifact flagged\n");
+    ++failures;
+  }
+  // A cache hit that ran counting supersteps violates the resident-
+  // partition contract and must be flagged.
+  if (service::lint_service(service_fixture("tricount.service.v1", 1, 2))
+          .empty()) {
+    std::fprintf(stderr, "selftest: service hit-with-supersteps not flagged\n");
+    ++failures;
+  }
+  // Hit accounting that disagrees with the records must be flagged.
+  if (service::lint_service(service_fixture("tricount.service.v1", 5, 0))
+          .empty()) {
+    std::fprintf(stderr, "selftest: service hit mismatch not flagged\n");
+    ++failures;
+  }
+  if (service::lint_service(service_fixture("tricount.service.v999", 1, 0))
+          .empty()) {
+    std::fprintf(stderr, "selftest: bad service schema not flagged\n");
+    ++failures;
+  }
+
   if (failures == 0) std::printf("selftest: OK\n");
   return failures == 0 ? 0 : 1;
 }
@@ -282,7 +355,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tricount_trace_lint <FILE.json...|--metrics "
                  "FILE.json...|--flight FILE.jsonl...|--msgtrace "
-                 "FILE.json...|--selftest|--version>\n");
+                 "FILE.json...|--service FILE.json...|--selftest|"
+                 "--version>\n");
     return 2;
   }
   if (std::strcmp(argv[1], "--selftest") == 0) return selftest();
@@ -294,7 +368,9 @@ int main(int argc, char** argv) {
   const bool metrics_mode = std::strcmp(argv[1], "--metrics") == 0;
   const bool flight_mode = std::strcmp(argv[1], "--flight") == 0;
   const bool msgtrace_mode = std::strcmp(argv[1], "--msgtrace") == 0;
-  const bool has_mode = metrics_mode || flight_mode || msgtrace_mode;
+  const bool service_mode = std::strcmp(argv[1], "--service") == 0;
+  const bool has_mode =
+      metrics_mode || flight_mode || msgtrace_mode || service_mode;
   if (has_mode && argc < 3) {
     std::fprintf(stderr, "usage: tricount_trace_lint %s FILE...\n", argv[1]);
     return 2;
@@ -307,6 +383,8 @@ int main(int argc, char** argv) {
       status |= lint_flight_file(argv[i]);
     } else if (msgtrace_mode) {
       status |= lint_msgtrace_file(argv[i]);
+    } else if (service_mode) {
+      status |= lint_service_file(argv[i]);
     } else {
       status |= lint_file(argv[i]);
     }

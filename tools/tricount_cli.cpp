@@ -46,6 +46,7 @@
 #include "tricount/graph/stats.hpp"
 #include "tricount/kernels/kernels.hpp"
 #include "tricount/obs/flight.hpp"
+#include "tricount/obs/graceful.hpp"
 #include "tricount/obs/msgtrace.hpp"
 #include "tricount/obs/telemetry.hpp"
 #include "tricount/util/argparse.hpp"
@@ -240,6 +241,10 @@ class FlightSession {
     telemetry_ = std::make_unique<obs::Telemetry>(ranks);
     telemetry_->install();
     telemetry_path_ = args.get("flight-telemetry");
+    // Operator signals (ctrl-C, kill) salvage the same artifacts the
+    // fatal-signal path does, then exit 0 instead of dying mid-run.
+    obs::set_shutdown_telemetry(telemetry_.get(), telemetry_path_);
+    obs::install_shutdown_handlers(obs::ShutdownMode::kFlushAndExit);
     if (!telemetry_path_.empty()) {
       const auto interval = std::chrono::milliseconds(std::max<long long>(
           args.get_int("flight-telemetry-interval-ms"), 10));
@@ -261,6 +266,7 @@ class FlightSession {
   }
 
   ~FlightSession() {
+    obs::set_shutdown_telemetry(nullptr, "");
     if (publisher_.joinable()) {
       {
         std::lock_guard<std::mutex> lock(mutex_);

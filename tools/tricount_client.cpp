@@ -1,0 +1,128 @@
+// tricount_client — scripted client for a running tricountd (docs/
+// service.md). Connects to the daemon's Unix-domain socket, sends each
+// request line from --script (or stdin), waits for one response line per
+// request, and prints the responses to stdout in order. Exits non-zero
+// if the connection drops before every response arrived.
+//
+// Example:
+//   tricount_client --socket /tmp/tricountd.sock --script session.jsonl
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tricount/util/argparse.hpp"
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tricount::util::ArgParser args("tricount_client",
+                                 "Scripted client for tricountd.");
+  args.add_option("socket", "", "tricountd Unix-domain socket path");
+  args.add_option("script", "",
+                  "request script (one JSON request per line); '' = stdin");
+  if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
+
+  const std::string socket_path = args.get("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "tricount_client: --socket is required\n");
+    return 1;
+  }
+
+  std::vector<std::string> requests;
+  {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    const std::string script = args.get("script");
+    if (!script.empty()) {
+      file.open(script);
+      if (!file) {
+        std::fprintf(stderr, "tricount_client: cannot open %s\n",
+                     script.c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+  }
+  if (requests.empty()) return 0;
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("tricount_client: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "tricount_client: socket path too long\n");
+    ::close(fd);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::perror("tricount_client: connect");
+    ::close(fd);
+    return 1;
+  }
+
+  for (const std::string& request : requests) {
+    if (!send_all(fd, request + '\n')) {
+      std::fprintf(stderr, "tricount_client: send failed\n");
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  // One response line per request, in order.
+  std::size_t received = 0;
+  std::string buffer;
+  char chunk[4096];
+  while (received < requests.size()) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      std::fprintf(stderr,
+                   "tricount_client: connection closed after %zu/%zu "
+                   "responses\n",
+                   received, requests.size());
+      ::close(fd);
+      return 1;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::fwrite(buffer.data() + start, 1, nl - start, stdout);
+      std::fputc('\n', stdout);
+      ++received;
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  std::fflush(stdout);
+  ::close(fd);
+  return 0;
+}
