@@ -16,10 +16,13 @@
 namespace tricount::service {
 
 /// One admitted request plus its submission timestamp (for latency
-/// accounting; monotonic microseconds).
+/// accounting; monotonic microseconds) and the graph version observed at
+/// admission — a request admitted under version N must never be answered
+/// from (or populate) the cache after a swap to N+1 lands ahead of it.
 struct Pending {
   Request request;
   double submit_us = 0.0;
+  std::uint64_t admit_version = 0;
 };
 
 class AdmissionQueue {

@@ -57,6 +57,14 @@ Value build_session_artifact(int ranks, const SessionCounters& counters,
     latency.set("count", 0);
   }
   session.set("latency_us", std::move(latency));
+
+  Value delta = Value::object();
+  delta.set("batches", counters.delta_batches);
+  delta.set("edges_applied", counters.delta_edges_applied);
+  delta.set("wedges_probed", counters.delta_wedges_probed);
+  delta.set("triangles_added", counters.delta_triangles_added);
+  delta.set("triangles_removed", counters.delta_triangles_removed);
+  session.set("delta", std::move(delta));
   root.set("session", std::move(session));
 
   root.set("metrics", metrics.to_json());
@@ -139,6 +147,52 @@ std::vector<std::string> lint_service(const Value& artifact) {
     const Value& cache = session.get("cache");
     if (cache.get("hits").as_uint() != hit_records) {
       violate("session.cache.hits != number of 'hit' request records");
+    }
+
+    // Streaming-maintenance reconciliation: the session.delta block, the
+    // tc.delta.* metrics counters, and the request records must agree.
+    const Value& delta = session.get("delta");
+    const std::uint64_t batches = delta.get("batches").as_uint();
+    const std::uint64_t added = delta.get("triangles_added").as_uint();
+    const std::uint64_t removed = delta.get("triangles_removed").as_uint();
+    if (batches == 0 && (delta.get("edges_applied").as_uint() != 0 ||
+                         added != 0 || removed != 0)) {
+      violate("session.delta: nonzero tallies without any batch");
+    }
+    const Value* metrics = artifact.find("metrics");
+    if (metrics != nullptr) {
+      const Value* counters = metrics->find("counters");
+      const auto metric = [&](const char* name) -> std::uint64_t {
+        const Value* v =
+            counters != nullptr ? counters->find(name) : nullptr;
+        return v != nullptr ? v->as_uint() : 0;
+      };
+      const auto reconcile = [&](const char* name, const char* field) {
+        if (metric(name) != delta.get(field).as_uint()) {
+          violate(std::string("session.delta.") + field +
+                  " != metrics counter " + name);
+        }
+      };
+      reconcile("tc.delta.batches", "batches");
+      reconcile("tc.delta.edges_applied", "edges_applied");
+      reconcile("tc.delta.wedges_probed", "wedges_probed");
+      reconcile("tc.delta.triangles_added", "triangles_added");
+      reconcile("tc.delta.triangles_removed", "triangles_removed");
+    }
+    // Every applied batch came from a successful graph.apply or
+    // graph.window; windows that evicted nothing apply no batch.
+    std::uint64_t ok_applies = 0;
+    std::uint64_t ok_windows = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const Value& row = requests.at(i);
+      if (!row.get("ok").as_bool()) continue;
+      const std::string verb = row.get("verb").as_string();
+      if (verb == "graph.apply") ++ok_applies;
+      if (verb == "graph.window") ++ok_windows;
+    }
+    if (batches < ok_applies || batches > ok_applies + ok_windows) {
+      violate("session.delta.batches inconsistent with ok graph.apply/"
+              "graph.window request records");
     }
 
     const Value& latency = session.get("latency_us");

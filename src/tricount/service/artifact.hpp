@@ -43,6 +43,13 @@ struct SessionCounters {
   std::uint64_t errors = 0;    ///< admitted but failed to execute
   std::uint64_t jobs = 0;      ///< SPMD jobs run on the world
   std::uint64_t graph_version = 0;
+  // Streaming-maintenance tallies (docs/streaming.md), mirrored into
+  // the tc.delta.* registry counters; the lint reconciles the two.
+  std::uint64_t delta_batches = 0;         ///< applied delta batches
+  std::uint64_t delta_edges_applied = 0;   ///< ops across those batches
+  std::uint64_t delta_wedges_probed = 0;   ///< kernel elementary lookups
+  std::uint64_t delta_triangles_added = 0;
+  std::uint64_t delta_triangles_removed = 0;
 };
 
 /// Assembles the session artifact document.

@@ -39,6 +39,19 @@ void ResultCache::put(const std::string& key, std::string result) {
   }
 }
 
+void ResultCache::invalidate_version(std::uint64_t graph_version) {
+  const std::string prefix = std::to_string(graph_version) + '|';
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      index_.erase(it->key);
+      it = entries_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ResultCache::invalidate_all() {
   invalidations_ += entries_.size();
   entries_.clear();

@@ -39,6 +39,11 @@ class ResultCache {
   /// Drops every entry (graph swap); counts them as invalidations.
   void invalidate_all();
 
+  /// Drops only the entries keyed under `graph_version` (surgical: a
+  /// graph.apply supersedes one version, and everything older was
+  /// already purged at its own bump). Counts them as invalidations.
+  void invalidate_version(std::uint64_t graph_version);
+
   Stats stats() const;
 
  private:

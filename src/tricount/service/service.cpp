@@ -117,6 +117,10 @@ void Service::submit(const std::string& line) {
 
   Pending pending;
   pending.submit_us = now_us();
+  // Pin the graph version the client saw at admission: if a graph.swap
+  // (or delta batch) queued ahead of this request lands first, the
+  // request must not be served from — or populate — the cache.
+  pending.admit_version = graph_version_.load(std::memory_order_relaxed);
   const std::uint64_t id = outcome.request.id;
   const std::string verb = outcome.request.verb;
   pending.request = std::move(outcome.request);
@@ -176,15 +180,24 @@ void Service::execute_batch(std::vector<Pending> batch) {
 
   for (Pending& pending : batch) {
     const Request& request = pending.request;
+    // Re-read per request: an earlier request in this very batch may
+    // have been a graph.swap or a delta batch.
+    const std::uint64_t exec_version =
+        graph_version_.load(std::memory_order_relaxed);
     RequestRecord row;
     row.id = request.id;
     row.verb = request.verb;
-    row.graph_version = graph_version_;
+    row.graph_version = exec_version;
     row.batched = batched;
 
-    const bool use_cache = cacheable_verb(request.verb) && graph_loaded();
+    // A version-skewed request (admitted under N, executing under N+k)
+    // computes fresh and stays out of the cache entirely: serving the
+    // new graph's answer under the old version's key — or vice versa —
+    // would poison the cache.
+    const bool use_cache = cacheable_verb(request.verb) && graph_loaded() &&
+                           pending.admit_version == exec_version;
     const std::string key =
-        use_cache ? ResultCache::key(graph_version_, request.verb,
+        use_cache ? ResultCache::key(exec_version, request.verb,
                                      request.canonical_params)
                   : std::string();
     std::string response;
@@ -202,7 +215,8 @@ void Service::execute_batch(std::vector<Pending> batch) {
       if (exec.ok) {
         response = ok_response_raw(request.id, exec.result_json);
         row.supersteps = exec.supersteps;
-        if (use_cache && exec.cacheable) {
+        if (use_cache && exec.cacheable &&
+            graph_version_.load(std::memory_order_relaxed) == exec_version) {
           row.cache = "miss";
           if (options_.cache_capacity > 0) {
             cache_.put(key, exec.result_json);
@@ -240,6 +254,10 @@ Service::Execution Service::execute(const Request& request) {
     if (verb == "truss") return verb_truss(request);
     if (verb == "support") return verb_support(request);
     if (verb == "approx") return verb_approx(request);
+    if (verb == "graph.apply") return verb_graph_apply(request);
+    if (verb == "graph.window") return verb_graph_window(request);
+    if (verb == "delta.stats") return verb_delta_stats(request);
+    if (verb == "stream.sample") return verb_stream_sample(request);
     if (verb == "cache.stats") return verb_cache_stats(request);
     if (verb == "stats") return verb_stats(request);
     if (verb == "shutdown") {
@@ -272,7 +290,7 @@ Service::Execution Service::verb_hello(const Request&) {
   result.set("server", "tricountd");
   result.set("schema", kSchema);
   result.set("ranks", options_.ranks);
-  result.set("graph_version", graph_version_);
+  result.set("graph_version", graph_version_.load(std::memory_order_relaxed));
   result.set("graph", graph_loaded() ? Value(graph_name_) : Value());
   Execution out;
   out.result_json = result.dump();
@@ -372,7 +390,7 @@ Service::Execution Service::verb_graph_load(const Request& request) {
 
   load_graph(std::move(graph), name);
   Value result = Value::object();
-  result.set("graph_version", graph_version_);
+  result.set("graph_version", graph_version_.load(std::memory_order_relaxed));
   result.set("graph", graph_name_);
   result.set("num_vertices", static_cast<std::uint64_t>(partition_.num_vertices));
   result.set("num_edges", static_cast<std::uint64_t>(partition_.num_edges));
@@ -389,11 +407,15 @@ void Service::load_graph(graph::EdgeList graph, const std::string& name) {
   run_options.config = options_.config;
   run_options.model = options_.model;
   partition_ = core::preprocess_resident(*world_, graph_, run_options);
-  ++graph_version_;
+  partition_dirty_ = false;
+  stream_.reset();  // wholesale replacement; delta state restarts fresh
+  sample_.reset();
+  const std::uint64_t version =
+      graph_version_.fetch_add(1, std::memory_order_relaxed) + 1;
   cache_.invalidate_all();
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    counters_.graph_version = graph_version_;
+    counters_.graph_version = version;
   }
   refresh_gauges();
 }
@@ -402,6 +424,22 @@ void Service::ensure_world() {
   if (world_ != nullptr && !world_->poisoned()) return;
   world_.reset();  // join any poisoned world's threads first
   world_ = std::make_unique<mpisim::PersistentWorld>(options_.ranks);
+}
+
+void Service::ensure_stream() {
+  if (stream_ == nullptr) {
+    stream_ = std::make_unique<stream::StreamState>(
+        stream::StreamState::from_graph(graph_));
+  }
+}
+
+void Service::ensure_partition() {
+  if (!partition_dirty_) return;
+  core::RunOptions run_options;
+  run_options.config = options_.config;
+  run_options.model = options_.model;
+  partition_ = core::preprocess_resident(*world_, graph_, run_options);
+  partition_dirty_ = false;
 }
 
 Service::Execution Service::verb_count(const Request& request) {
@@ -445,6 +483,7 @@ Service::Execution Service::verb_count(const Request& request) {
       out.message = "world poisoned; reload the graph";
       return out;
     }
+    ensure_partition();  // stream mutations dirty the resident blocks
     core::RunResult run = core::count_resident(*world_, partition_, config);
     triangles = run.triangles;
     supersteps = run.num_shifts();
@@ -705,6 +744,219 @@ Service::Execution Service::verb_approx(const Request& request) {
   return out;
 }
 
+Service::Execution Service::apply_batch(const stream::Batch& batch,
+                                        kernels::KernelPolicy kernel) {
+  Execution out;
+  if (const auto reason = stream::validate(*stream_, batch)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = *reason;
+    return out;
+  }
+  ensure_world();
+  stream::DeltaConfig config;
+  config.kernel = kernel;
+  const stream::DeltaResult delta =
+      stream::count_delta(*world_, *stream_, batch, config);
+  stream::apply(*stream_, batch, delta);
+  if (sample_ != nullptr) sample_->apply(batch);
+  graph_ = stream_->edge_list();
+  partition_dirty_ = true;  // the next 2d count re-preprocesses lazily
+
+  const std::uint64_t old_version =
+      graph_version_.fetch_add(1, std::memory_order_relaxed);
+  cache_.invalidate_version(old_version);
+
+  registry_.counter("tc.delta.batches").inc();
+  registry_.counter("tc.delta.edges_applied").inc(batch.ops.size());
+  registry_.counter("tc.delta.wedges_probed").inc(delta.kernel.lookups);
+  registry_.counter("tc.delta.triangles_added").inc(delta.added());
+  registry_.counter("tc.delta.triangles_removed").inc(delta.removed());
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.delta_batches;
+    counters_.delta_edges_applied += batch.ops.size();
+    counters_.delta_wedges_probed += delta.kernel.lookups;
+    counters_.delta_triangles_added += delta.added();
+    counters_.delta_triangles_removed += delta.removed();
+    counters_.graph_version = old_version + 1;
+  }
+  refresh_gauges();
+
+  Value result = Value::object();
+  result.set("applied", static_cast<std::uint64_t>(batch.ops.size()));
+  result.set("triangles", static_cast<std::uint64_t>(stream_->triangles()));
+  result.set("removed", static_cast<std::uint64_t>(delta.removed()));
+  result.set("added", static_cast<std::uint64_t>(delta.added()));
+  result.set("num_edges", static_cast<std::uint64_t>(stream_->num_edges()));
+  result.set("graph_version", old_version + 1);
+  result.set("shard_messages", delta.shard_messages);
+  result.set("shard_bytes", delta.shard_bytes);
+  out.result_json = result.dump();
+  out.supersteps = 1;  // one delta job on the world
+  return out;
+}
+
+Service::Execution Service::verb_graph_apply(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  const Value* ops = request.params.find("ops");
+  if (ops == nullptr || !ops->is_array() || ops->size() == 0) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "'ops' must be a non-empty array of '+u v' / '-u v'";
+    return out;
+  }
+  stream::Batch batch;
+  for (std::size_t i = 0; i < ops->size(); ++i) {
+    const Value& op = ops->at(i);
+    const std::optional<stream::DeltaOp> parsed =
+        op.is_string() ? stream::parse_op(op.as_string())
+                       : std::optional<stream::DeltaOp>();
+    if (!parsed) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "ops[" + std::to_string(i) + "]: malformed op";
+      return out;
+    }
+    batch.ops.push_back(*parsed);
+  }
+  kernels::KernelPolicy kernel = options_.config.kernel;
+  if (const Value* param = request.params.find("kernel")) {
+    if (!param->is_string() ||
+        !kernels::parse_policy(param->as_string(), kernel)) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "bad 'kernel'";
+      return out;
+    }
+  }
+  ensure_stream();
+  return apply_batch(batch, kernel);
+}
+
+Service::Execution Service::verb_graph_window(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  std::uint64_t capacity = 0;
+  const Value* param = request.params.find("capacity");
+  if (param == nullptr ||
+      !get_uint_param(request.params, "capacity", 0, ~std::uint64_t{0},
+                      capacity)) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "'capacity' must be a non-negative integer";
+    return out;
+  }
+  ensure_stream();
+  const stream::Batch evictions = stream::window_evictions(*stream_, capacity);
+  if (evictions.ops.empty()) {
+    // Already inside the window: no state change, no version bump.
+    Value result = Value::object();
+    result.set("evicted", 0);
+    result.set("triangles", static_cast<std::uint64_t>(stream_->triangles()));
+    result.set("num_edges",
+               static_cast<std::uint64_t>(stream_->num_edges()));
+    result.set("graph_version",
+               graph_version_.load(std::memory_order_relaxed));
+    out.result_json = result.dump();
+    return out;
+  }
+  Execution applied = apply_batch(evictions, options_.config.kernel);
+  if (!applied.ok) return applied;
+  Value result = Value::parse(applied.result_json);
+  result.set("evicted", static_cast<std::uint64_t>(evictions.ops.size()));
+  applied.result_json = result.dump();
+  return applied;
+}
+
+Service::Execution Service::verb_delta_stats(const Request&) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  ensure_stream();
+  SessionCounters counters;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    counters = counters_;
+  }
+  Value result = Value::object();
+  result.set("triangles", static_cast<std::uint64_t>(stream_->triangles()));
+  result.set("num_vertices",
+             static_cast<std::uint64_t>(stream_->num_vertices()));
+  result.set("num_edges", static_cast<std::uint64_t>(stream_->num_edges()));
+  result.set("batches", counters.delta_batches);
+  result.set("edges_applied", counters.delta_edges_applied);
+  result.set("wedges_probed", counters.delta_wedges_probed);
+  result.set("triangles_added", counters.delta_triangles_added);
+  result.set("triangles_removed", counters.delta_triangles_removed);
+  result.set("graph_version", graph_version_.load(std::memory_order_relaxed));
+  result.set("sampled", sample_ != nullptr);
+  out.result_json = result.dump();
+  return out;
+}
+
+Service::Execution Service::verb_stream_sample(const Request& request) {
+  Execution out;
+  if (!graph_loaded()) {
+    out.ok = false;
+    out.error = ErrorCode::kNoGraph;
+    out.message = "no graph loaded";
+    return out;
+  }
+  ensure_stream();
+  const Value* retention_param = request.params.find("retention");
+  if (retention_param != nullptr) {
+    if (!retention_param->is_number() ||
+        !(retention_param->as_number() > 0.0 &&
+          retention_param->as_number() <= 1.0)) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'retention' must be in (0, 1]";
+      return out;
+    }
+    std::uint64_t seed = 42;
+    if (!get_uint_param(request.params, "seed", 42, ~std::uint64_t{0},
+                        seed)) {
+      out.ok = false;
+      out.error = ErrorCode::kBadParams;
+      out.message = "'seed' must be a non-negative integer";
+      return out;
+    }
+    sample_ = std::make_unique<stream::SampledStream>(
+        *stream_, retention_param->as_number(), seed);
+  } else if (sample_ == nullptr) {
+    out.ok = false;
+    out.error = ErrorCode::kBadParams;
+    out.message = "no sampled estimator; pass 'retention' to start one";
+    return out;
+  }
+  Value result = Value::object();
+  result.set("estimate", sample_->estimate());
+  result.set("sparsified_triangles",
+             static_cast<std::uint64_t>(sample_->sparsified_triangles()));
+  result.set("kept_edges", sample_->kept_edges());
+  result.set("retention", sample_->retention());
+  result.set("seed", sample_->seed());
+  result.set("exact", static_cast<std::uint64_t>(stream_->triangles()));
+  out.result_json = result.dump();
+  return out;
+}
+
 Service::Execution Service::verb_cache_stats(const Request&) {
   const ResultCache::Stats stats = cache_.stats();
   Value result = Value::object();
@@ -733,7 +985,7 @@ Service::Execution Service::verb_stats(const Request&) {
   result.set("rejected", counters.rejected);
   result.set("errors", counters.errors);
   result.set("jobs", world_ != nullptr ? world_->jobs_run() : 0);
-  result.set("graph_version", graph_version_);
+  result.set("graph_version", graph_version_.load(std::memory_order_relaxed));
   result.set("queue_depth", static_cast<std::uint64_t>(queue.depth));
   result.set("queue_max_depth", queue.max_depth);
   result.set("resident_bytes",
@@ -766,7 +1018,13 @@ bool Service::stop_requested() const {
   return stop_requested_;
 }
 
-std::uint64_t Service::graph_version() const { return graph_version_; }
+std::uint64_t Service::graph_version() const {
+  return graph_version_.load(std::memory_order_relaxed);
+}
+
+std::size_t Service::in_flight() const {
+  return gauges_.in_flight.load(std::memory_order_relaxed);
+}
 
 std::uint64_t Service::jobs_run() const {
   return world_ != nullptr ? world_->jobs_run() : 0;
@@ -780,7 +1038,7 @@ SessionCounters Service::counters() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   SessionCounters counters = counters_;
   counters.jobs = world_ != nullptr ? world_->jobs_run() : 0;
-  counters.graph_version = graph_version_;
+  counters.graph_version = graph_version_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -819,7 +1077,8 @@ void Service::refresh_gauges() {
   gauges_.shed.store(queue.shed, std::memory_order_relaxed);
   gauges_.cache_hits.store(cache.hits, std::memory_order_relaxed);
   gauges_.cache_misses.store(cache.misses, std::memory_order_relaxed);
-  gauges_.graph_version.store(graph_version_, std::memory_order_relaxed);
+  gauges_.graph_version.store(graph_version_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(state_mutex_);
   gauges_.requests.store(counters_.requests, std::memory_order_relaxed);
 }

@@ -20,6 +20,7 @@
 // one fully-formed line per call, serialized by an internal lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -39,6 +40,7 @@
 #include "tricount/service/artifact.hpp"
 #include "tricount/service/cache.hpp"
 #include "tricount/service/protocol.hpp"
+#include "tricount/stream/stream.hpp"
 
 namespace tricount::service {
 
@@ -97,6 +99,12 @@ class Service {
   int ranks() const { return options_.ranks; }
   bool graph_loaded() const { return partition_.ranks != 0; }
   std::uint64_t graph_version() const;
+  /// Requests popped from the queue but not yet fully answered. The
+  /// daemon's drain wait must cover this too, not just the queue depth —
+  /// a batch mid-execution holds responses the client is still owed.
+  std::size_t in_flight() const;
+  /// The maintained stream state (null until a streaming verb ran).
+  const stream::StreamState* stream_state() const { return stream_.get(); }
   /// Successful SPMD jobs run on the persistent world (a cache hit must
   /// not advance this).
   std::uint64_t jobs_run() const;
@@ -135,8 +143,21 @@ class Service {
   Execution verb_approx(const Request& request);
   Execution verb_cache_stats(const Request& request);
   Execution verb_stats(const Request& request);
+  Execution verb_graph_apply(const Request& request);
+  Execution verb_graph_window(const Request& request);
+  Execution verb_delta_stats(const Request& request);
+  Execution verb_stream_sample(const Request& request);
+
+  /// Counts, applies, and accounts one validated delta batch; bumps the
+  /// graph version and surgically invalidates the superseded entries.
+  Execution apply_batch(const stream::Batch& batch,
+                        kernels::KernelPolicy kernel);
 
   void ensure_world();
+  /// Lazily builds the maintained stream state from the resident graph.
+  void ensure_stream();
+  /// Re-preprocesses the 2D partition after stream mutations dirtied it.
+  void ensure_partition();
   void emit(const std::string& line);
   void record(RequestRecord row);
   void refresh_gauges();
@@ -153,7 +174,16 @@ class Service {
   graph::EdgeList graph_;  ///< simplified, resident for non-2d verbs
   std::string graph_name_;
   core::ResidentPartition partition_;
-  std::uint64_t graph_version_ = 0;
+  /// Incremental maintenance state (docs/streaming.md); built lazily by
+  /// the first streaming verb, reset by graph.load/swap.
+  std::unique_ptr<stream::StreamState> stream_;
+  std::unique_ptr<stream::SampledStream> sample_;
+  /// Stream mutations landed since the partition was last preprocessed;
+  /// the next 2d count rebuilds it lazily.
+  bool partition_dirty_ = false;
+  /// Atomic: the submit thread pins it at admission (see
+  /// Pending::admit_version) while the dispatcher bumps it on swaps.
+  std::atomic<std::uint64_t> graph_version_{0};
 
   // Shared between the reader and the dispatcher.
   mutable std::mutex state_mutex_;

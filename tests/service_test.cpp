@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "test_corpus.hpp"
@@ -124,6 +125,33 @@ TEST(ServiceProtocol, CanonicalParamsIgnoreKeyOrder) {
   ASSERT_TRUE(a.ok);
   ASSERT_TRUE(b.ok);
   EXPECT_EQ(a.request.canonical_params, b.request.canonical_params);
+}
+
+TEST(ServiceProtocol, CanonicalParamsNormalizeNumericSpellings) {
+  // Numerically equal params must canonicalize to the SAME key bytes no
+  // matter how the client spelled them — `1`, `1.0`, `1e0`, `1.000` are
+  // one number, and a cache keyed on the lexeme would fragment (cold
+  // recomputes for warm queries) or, worse, split hit accounting across
+  // aliases. Locked here at the protocol layer.
+  const service::WireLimits limits;
+  const auto canonical = [&](const std::string& lexeme) {
+    const auto out = service::parse_request(
+        "{\"id\":1,\"verb\":\"count\",\"params\":{\"q\":" + lexeme + "}}",
+        limits);
+    EXPECT_TRUE(out.ok) << lexeme;
+    return out.request.canonical_params;
+  };
+  const std::string one = canonical("1");
+  EXPECT_EQ(canonical("1.0"), one);
+  EXPECT_EQ(canonical("1e0"), one);
+  EXPECT_EQ(canonical("1.000"), one);
+  EXPECT_EQ(canonical("10e-1"), one);
+  const std::string half = canonical("0.5");
+  EXPECT_EQ(canonical("5e-1"), half);
+  EXPECT_EQ(canonical("0.50"), half);
+  EXPECT_NE(half, one);
+  // Distinct numbers must stay distinct even when they round-print alike.
+  EXPECT_NE(canonical("2"), one);
 }
 
 TEST(ServiceProtocol, TypedLimitErrors) {
@@ -370,6 +398,131 @@ TEST(ServiceCacheFlow, GraphSwapVerbBumpsVersion) {
   served_triangles(h, count_request(4, "2d"));
   EXPECT_EQ(h.svc.records().back().cache, "miss")
       << "swap must invalidate the old graph's entries";
+}
+
+TEST(ServiceCacheFlow, NumericSpellingsShareCacheEntries) {
+  // Service-level face of the canonicalization regression: the same
+  // approx query spelled with different numeric lexemes is ONE cache
+  // entry — the 2nd..4th spellings all hit.
+  Harness h;
+  h.svc.load_graph(test_support::corpus()[0].graph, "corpus0");
+  const auto approx = [](std::uint64_t id, const std::string& retention,
+                         const std::string& seed) {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"verb\":\"approx\",\"params\":{\"retention\":" + retention +
+           ",\"seed\":" + seed + "}}";
+  };
+  h.result(h.ask(approx(1, "0.5", "7")));
+  h.result(h.ask(approx(2, "5e-1", "7")));
+  h.result(h.ask(approx(3, "0.50", "7.0")));
+  h.result(h.ask(approx(4, "0.5", "7e0")));
+  EXPECT_EQ(h.svc.cache_stats().hits, 3u)
+      << "numerically equal params must share one cache entry";
+  EXPECT_EQ(h.svc.cache_stats().size, 1u);
+}
+
+TEST(ServiceCacheFlow, SwapInsideBatchSkipsCacheForStaleAdmissions) {
+  // A graph.swap queued AHEAD of an already-admitted count: the count
+  // was admitted against the old version but executes against the new
+  // graph. It must bypass the cache entirely (no stale hit, no put under
+  // a mismatched key) and still serve the NEW graph's number.
+  Harness h;
+  const graph::EdgeList a = graph::watts_strogatz(64, 6, 0.1, 3);
+  h.svc.load_graph(a, "ws64");
+  const graph::TriangleCount t_a = served_triangles(h, count_request(1, "2d"));
+
+  // Queue [count, swap, count] as ONE drained batch: both counts are
+  // admitted at v1; the second executes at v2.
+  h.svc.submit(count_request(2, "2d"));
+  h.svc.submit(
+      "{\"id\":3,\"verb\":\"graph.swap\",\"params\":{\"generate\":"
+      "{\"type\":\"er\",\"n\":128,\"edges\":512,\"seed\":9}}}");
+  h.svc.submit(count_request(4, "2d"));
+  h.svc.drain();
+
+  const graph::EdgeList b = graph::erdos_renyi(128, 512, 9);
+  const graph::TriangleCount t_b =
+      graph::count_triangles_serial(graph::Csr::from_edges(b));
+  ASSERT_NE(t_a, t_b) << "test graphs must disagree to detect staleness";
+
+  const auto& records = h.svc.records();
+  ASSERT_GE(records.size(), 3u);
+  const service::RequestRecord& stale_hit = records[records.size() - 3];
+  const service::RequestRecord& skewed = records.back();
+  EXPECT_EQ(stale_hit.id, 2u);
+  EXPECT_EQ(stale_hit.cache, "hit") << "pre-swap count still matches v1";
+  EXPECT_EQ(skewed.id, 4u);
+  EXPECT_EQ(skewed.cache, "none")
+      << "a version-skewed request must not touch the cache";
+  Value last = Value::parse(h.responses.back());
+  EXPECT_TRUE(last.get("ok").as_bool());
+  EXPECT_EQ(last.get("result").get("triangles").as_uint(), t_b)
+      << "the skewed count must serve the NEW graph's triangles";
+
+  // The skewed execution must not have poisoned either version's key:
+  // the next same-shape query is a clean miss, then a clean hit.
+  EXPECT_EQ(served_triangles(h, count_request(5, "2d")), t_b);
+  EXPECT_EQ(h.svc.records().back().cache, "miss");
+  EXPECT_EQ(served_triangles(h, count_request(6, "2d")), t_b);
+  EXPECT_EQ(h.svc.records().back().cache, "hit");
+}
+
+TEST(ServiceCacheFlow, SwapUnderLoadNeverServesStaleCounts) {
+  // Concurrent regression for the same race: one thread streams count
+  // requests while the driving thread interleaves graph.swap requests
+  // between two graphs with different triangle totals. Every served
+  // count must be one of the two true totals, version-skewed requests
+  // bypass the cache, and after the dust settles a fresh count serves
+  // exactly the final graph's number.
+  Harness h;
+  const graph::EdgeList a = graph::watts_strogatz(64, 6, 0.1, 3);
+  const graph::EdgeList b = graph::erdos_renyi(128, 512, 9);
+  const graph::TriangleCount t_a =
+      graph::count_triangles_serial(graph::Csr::from_edges(a));
+  const graph::TriangleCount t_b =
+      graph::count_triangles_serial(graph::Csr::from_edges(b));
+  ASSERT_NE(t_a, t_b);
+  h.svc.load_graph(a, "ws64");
+
+  // submit() is thread-safe; all execution stays on this thread via
+  // drain(), so the response log needs no locking.
+  std::thread counter([&h] {
+    for (std::uint64_t id = 100; id < 140; ++id) {
+      h.svc.submit(count_request(id, "2d"));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  const char* specs[2] = {
+      "{\"type\":\"er\",\"n\":128,\"edges\":512,\"seed\":9}",
+      "{\"type\":\"ws\",\"n\":64,\"k\":6,\"beta\":0.1,\"seed\":3}"};
+  for (int swap = 0; swap < 10; ++swap) {
+    h.svc.submit("{\"id\":" + std::to_string(swap + 1) +
+                 ",\"verb\":\"graph.swap\",\"params\":{\"generate\":" +
+                 specs[swap % 2] + "}}");
+    h.svc.drain();
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  counter.join();
+  h.svc.drain();
+
+  std::size_t shed = 0;
+  for (const std::string& line : h.responses) {
+    Value doc = Value::parse(line);
+    if (!doc.get("ok").as_bool()) {
+      ++shed;  // backpressure under load is fine; staleness is not
+      continue;
+    }
+    if (doc.get("id").as_uint() < 100) continue;  // swap responses
+    const graph::TriangleCount served = static_cast<graph::TriangleCount>(
+        doc.get("result").get("triangles").as_uint());
+    EXPECT_TRUE(served == t_a || served == t_b)
+        << "served " << served << ", expected " << t_a << " or " << t_b;
+  }
+  EXPECT_LT(shed, h.responses.size()) << "some requests must have served";
+
+  // Final state: ws graph (last swap used specs[1]); a fresh count must
+  // serve its exact total, never a stale cached one.
+  EXPECT_EQ(served_triangles(h, count_request(999, "2d")), t_a);
 }
 
 // --- batching ------------------------------------------------------------

@@ -307,6 +307,8 @@ int selftest() {
         R"({"schema":"%s","build":{},"ranks":4,"session":{)"
         R"("requests":2,"admitted":2,"shed":0,"rejected":0,"errors":0,)"
         R"("jobs":2,"graph_version":1,)"
+        R"("delta":{"batches":0,"edges_applied":0,"wedges_probed":0,)"
+        R"("triangles_added":0,"triangles_removed":0},)"
         R"("cache":{"hits":%llu,"misses":1,"evictions":0,"invalidations":0,)"
         R"("size":1,"capacity":128},)"
         R"("latency_us":{"count":2,"p50":10.0,"p95":90.0,"p99":99.0,)"
@@ -342,6 +344,20 @@ int selftest() {
           .empty()) {
     std::fprintf(stderr, "selftest: bad service schema not flagged\n");
     ++failures;
+  }
+  // Delta tallies without any applied batch are unaccounted streaming
+  // work and must be flagged (docs/streaming.md reconciliation).
+  {
+    std::string broken =
+        service_fixture("tricount.service.v1", 1, 0).dump();
+    const std::string zero = R"("delta":{"batches":0,"edges_applied":0)";
+    const std::string bad = R"("delta":{"batches":0,"edges_applied":5)";
+    broken.replace(broken.find(zero), zero.size(), bad);
+    if (service::lint_service(obs::json::Value::parse(broken)).empty()) {
+      std::fprintf(stderr,
+                   "selftest: batchless delta tallies not flagged\n");
+      ++failures;
+    }
   }
 
   if (failures == 0) std::printf("selftest: OK\n");

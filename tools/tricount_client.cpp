@@ -1,8 +1,13 @@
 // tricount_client — scripted client for a running tricountd (docs/
 // service.md). Connects to the daemon's Unix-domain socket, sends each
 // request line from --script (or stdin), waits for one response line per
-// request, and prints the responses to stdout in order. Exits non-zero
-// if the connection drops before every response arrived.
+// request, and prints the responses to stdout in order.
+//
+// Exit codes: 0 = every response arrived and was ok; 1 = transport
+// failure (connect, send, or the connection dropped early); 2 = the
+// session completed but the daemon answered at least one request with a
+// typed error (`"ok":false` — shed, bad_params, no_graph, ...). Scripts
+// and CI gates rely on the distinction.
 //
 // Example:
 //   tricount_client --socket /tmp/tricountd.sock --script session.jsonl
@@ -10,11 +15,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tricount/util/argparse.hpp"
@@ -31,6 +38,13 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
+/// A typed error response. The protocol emits compact JSON with an
+/// `"ok":false` member on every error line, so a substring scan is
+/// reliable without a JSON parser in the client.
+bool is_error_response(const std::string& line) {
+  return line.find("\"ok\":false") != std::string::npos;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,6 +53,9 @@ int main(int argc, char** argv) {
   args.add_option("socket", "", "tricountd Unix-domain socket path");
   args.add_option("script", "",
                   "request script (one JSON request per line); '' = stdin");
+  args.add_option("retry-seconds", "0",
+                  "keep retrying the connect for this long (daemon still "
+                  "starting up)");
   if (!args.parse(argc, argv)) return args.help_requested() ? 0 : 1;
 
   const std::string socket_path = args.get("socket");
@@ -68,25 +85,36 @@ int main(int argc, char** argv) {
   }
   if (requests.empty()) return 0;
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("tricount_client: socket");
-    return 1;
-  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
     std::fprintf(stderr, "tricount_client: socket path too long\n");
-    ::close(fd);
     return 1;
   }
   std::strncpy(addr.sun_path, socket_path.c_str(),
                sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    std::perror("tricount_client: connect");
+  const auto retry_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(std::max<long long>(args.get_int("retry-seconds"),
+                                               0));
+  int fd = -1;
+  while (true) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::perror("tricount_client: socket");
+      return 1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
     ::close(fd);
-    return 1;
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= retry_deadline) {
+      std::perror("tricount_client: connect");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
   for (const std::string& request : requests) {
@@ -97,8 +125,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One response line per request, in order.
+  // One response line per request, in order. Error responses still print
+  // (callers want the body) but flip the exit code.
   std::size_t received = 0;
+  std::size_t errors = 0;
   std::string buffer;
   char chunk[4096];
   while (received < requests.size()) {
@@ -115,7 +145,9 @@ int main(int argc, char** argv) {
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
          nl = buffer.find('\n', start)) {
-      std::fwrite(buffer.data() + start, 1, nl - start, stdout);
+      const std::string line = buffer.substr(start, nl - start);
+      if (is_error_response(line)) ++errors;
+      std::fwrite(line.data(), 1, line.size(), stdout);
       std::fputc('\n', stdout);
       ++received;
       start = nl + 1;
@@ -124,5 +156,10 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
   ::close(fd);
+  if (errors > 0) {
+    std::fprintf(stderr, "tricount_client: %zu/%zu responses were errors\n",
+                 errors, requests.size());
+    return 2;
+  }
   return 0;
 }

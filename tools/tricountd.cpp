@@ -135,9 +135,11 @@ void serve_client(service::Service& svc, ResponseRouter& router, int client) {
   }
   // Give in-flight responses a moment to land on this fd before it
   // closes; shutdown() below still drains everything into the artifact.
+  // Queue depth alone is not enough: a batch the dispatcher already
+  // popped is mid-execution and still owes this client its responses.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
-  while (svc.queue_stats().depth > 0 &&
+  while ((svc.queue_stats().depth > 0 || svc.in_flight() > 0) &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
